@@ -1,0 +1,37 @@
+//! Bloom filter probe costs: every incoming chunk pays one `contains`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mhd_bloom::BloomFilter;
+use mhd_hash::sha1;
+use std::hint::black_box;
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<_> = (0u64..10_000).map(|i| sha1(&i.to_le_bytes())).collect();
+    let misses: Vec<_> = (100_000u64..110_000).map(|i| sha1(&i.to_le_bytes())).collect();
+    let mut filter = BloomFilter::with_bytes(1 << 20, keys.len() as u64);
+    for k in &keys {
+        filter.insert(k);
+    }
+
+    let mut group = c.benchmark_group("bloom");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::with_bytes(1 << 20, keys.len() as u64);
+            for k in &keys {
+                f.insert(black_box(k));
+            }
+            f
+        })
+    });
+    group.bench_function("contains_hit_10k", |b| {
+        b.iter(|| keys.iter().filter(|k| filter.contains(black_box(k))).count())
+    });
+    group.bench_function("contains_miss_10k", |b| {
+        b.iter(|| misses.iter().filter(|k| filter.contains(black_box(k))).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bloom);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Metadata codec costs: manifests are decoded on every cache miss and
+//! re-encoded on every dirty write-back.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mhd_bloom::CountMinSketch;
+use mhd_hash::sha1;
+use mhd_store::{DiskChunkId, FileManifest, Extent, Manifest, ManifestEntry, ManifestFormat, ManifestId};
+use std::hint::black_box;
+
+fn manifest(entries: usize) -> Manifest {
+    let mut m = Manifest::new(ManifestId(1), ManifestFormat::HookFlags);
+    let mut offset = 0u64;
+    for i in 0..entries {
+        let size = 512 + (i as u64 % 7) * 100;
+        m.entries.push(ManifestEntry {
+            hash: sha1(&(i as u64).to_le_bytes()),
+            container: DiskChunkId(1),
+            offset,
+            size,
+            is_hook: i % 16 == 0,
+        });
+        offset += size;
+    }
+    m
+}
+
+fn bench_manifest_codec(c: &mut Criterion) {
+    let m = manifest(1000);
+    let encoded = m.encode();
+    let mut group = c.benchmark_group("manifest_codec");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("encode_1k_entries", |b| b.iter(|| black_box(&m).encode()));
+    group.bench_function("decode_1k_entries", |b| {
+        b.iter(|| Manifest::decode(ManifestId(1), black_box(&encoded)).unwrap())
+    });
+    group.bench_function("build_index_1k_entries", |b| b.iter(|| black_box(&m).build_index()));
+    group.finish();
+}
+
+fn bench_recipe_codec(c: &mut Criterion) {
+    let mut fm = FileManifest::new();
+    for i in 0..500u64 {
+        fm.push(Extent { container: DiskChunkId(i / 50), offset: i * 3000, len: 1000 });
+    }
+    let mut group = c.benchmark_group("recipe_codec");
+    group.throughput(Throughput::Elements(fm.entry_count() as u64));
+    group.bench_function("encode_fixed", |b| b.iter(|| black_box(&fm).encode()));
+    group.bench_function("encode_compact", |b| b.iter(|| black_box(&fm).encode_compact()));
+    let compact = fm.encode_compact();
+    group.bench_function("decode_compact", |b| {
+        b.iter(|| FileManifest::decode_compact(black_box(&compact)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let keys: Vec<_> = (0u64..10_000).map(|i| sha1(&i.to_le_bytes())).collect();
+    let mut group = c.benchmark_group("count_min_sketch");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("add_10k", |b| {
+        b.iter(|| {
+            let mut s = CountMinSketch::with_epsilon(1e-4);
+            for k in &keys {
+                s.add(black_box(k));
+            }
+            s
+        })
+    });
+    let mut sketch = CountMinSketch::with_epsilon(1e-4);
+    for k in &keys {
+        sketch.add(k);
+    }
+    group.bench_function("estimate_10k", |b| {
+        b.iter(|| keys.iter().map(|k| sketch.estimate(black_box(k)) as u64).sum::<u64>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_manifest_codec, bench_recipe_codec, bench_sketch);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! LRU cache operation costs: the Manifest cache is touched per chunk.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mhd_cache::LruCache;
+use std::hint::black_box;
+
+fn bench_lru(c: &mut Criterion) {
+    let n = 10_000u64;
+    let mut group = c.benchmark_group("lru");
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("insert_evicting_10k", |b| {
+        b.iter(|| {
+            let mut cache: LruCache<u64, u64> = LruCache::new(256);
+            for i in 0..n {
+                cache.insert(black_box(i), i * 2);
+            }
+            cache
+        })
+    });
+
+    group.bench_function("get_hit_10k", |b| {
+        let mut cache: LruCache<u64, u64> = LruCache::new(1024);
+        for i in 0..1024 {
+            cache.insert(i, i);
+        }
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..n {
+                if let Some(v) = cache.get(&black_box(i % 1024)) {
+                    sum = sum.wrapping_add(*v);
+                }
+            }
+            sum
+        })
+    });
+
+    group.bench_function("get_miss_10k", |b| {
+        let mut cache: LruCache<u64, u64> = LruCache::new(1024);
+        for i in 0..1024 {
+            cache.insert(i, i);
+        }
+        b.iter(|| (0..n).filter(|i| cache.get(&(i + 1_000_000)).is_some()).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru);
+criterion_main!(benches);

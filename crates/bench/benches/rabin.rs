@@ -1,0 +1,56 @@
+//! Rolling-fingerprint and chunker throughput: the other half of the
+//! deduplication CPU budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mhd_chunking::{Chunker, FixedChunker, RabinChunker, RabinFingerprint, RabinTables, TttdChunker};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn data(len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn bench_rolling(c: &mut Criterion) {
+    let input = data(1 << 20);
+    let mut group = c.benchmark_group("rabin_rolling");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("roll_1MiB", |b| {
+        let tables = RabinTables::default_with_window(48);
+        b.iter(|| {
+            let mut fp = RabinFingerprint::new(tables.clone());
+            for &byte in &input {
+                fp.roll(byte);
+            }
+            black_box(fp.value())
+        })
+    });
+    group.finish();
+}
+
+fn bench_chunkers(c: &mut Criterion) {
+    let input = data(4 << 20);
+    let mut group = c.benchmark_group("chunkers");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    for ecs in [1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("rabin_cdc", ecs), &input, |b, input| {
+            let chunker = RabinChunker::with_avg(ecs).unwrap();
+            b.iter(|| black_box(chunker.cut_points(input)))
+        });
+        group.bench_with_input(BenchmarkId::new("tttd", ecs), &input, |b, input| {
+            let chunker = TttdChunker::with_avg(ecs).unwrap();
+            b.iter(|| black_box(chunker.cut_points(input)))
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("fixed", 4096), &input, |b, input| {
+        let chunker = FixedChunker::new(4096);
+        b.iter(|| black_box(chunker.cut_points(input)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rolling, bench_chunkers);
+criterion_main!(benches);

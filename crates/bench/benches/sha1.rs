@@ -1,0 +1,36 @@
+//! SHA-1 throughput: the per-chunk hashing cost that dominates the
+//! deduplication CPU budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mhd_hash::{sha1, Sha1};
+use std::hint::black_box;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1");
+    for size in [512usize, 4096, 65536, 1 << 20] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("oneshot", size), &data, |b, data| {
+            b.iter(|| sha1(black_box(data)))
+        });
+    }
+    group.finish();
+
+    // Streaming in chunk-sized updates (the HashReader/DiskChunk path).
+    let mut group = c.benchmark_group("sha1_streaming");
+    let data = vec![0x5Au8; 1 << 20];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("1MiB_in_4KiB_updates", |b| {
+        b.iter(|| {
+            let mut h = Sha1::new();
+            for chunk in data.chunks(4096) {
+                h.update(black_box(chunk));
+            }
+            h.finalize()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha1);
+criterion_main!(benches);

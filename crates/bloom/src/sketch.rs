@@ -1,0 +1,165 @@
+//! A count-min sketch over chunk hashes.
+//!
+//! The FBC algorithm (Lu, Jin & Du, MASCOTS'10 — discussed alongside
+//! Bimodal and SubChunk throughout the paper's §I–II) re-chunks big chunks
+//! selectively "based on the frequency information of chunks estimated
+//! from data that have been previously processed". The practical estimator
+//! for that is a count-min sketch: fixed memory, one-sided error
+//! (estimates never undercount), updates and queries in O(depth).
+
+use mhd_hash::ChunkHash;
+
+/// Fixed-size frequency estimator with one-sided error.
+#[derive(Clone)]
+pub struct CountMinSketch {
+    /// `depth` rows of `width` saturating counters.
+    rows: Vec<Vec<u32>>,
+    width: usize,
+    /// Total updates (for the ε·N error bound).
+    updates: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `width` counters per row and `depth` rows.
+    ///
+    /// Estimation error is at most `2N/width` with probability
+    /// `1 − 2^−depth` (N = total updates).
+    ///
+    /// # Panics
+    /// Panics when `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0, "sketch needs width");
+        assert!((1..=8).contains(&depth), "depth must be in 1..=8");
+        CountMinSketch { rows: vec![vec![0u32; width]; depth], width, updates: 0 }
+    }
+
+    /// Sizes the sketch for an error of about `epsilon·N` using the
+    /// standard `width = ⌈e/ε⌉` rule, depth 4.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        Self::new((std::f64::consts::E / epsilon).ceil() as usize, 4)
+    }
+
+    #[inline]
+    fn index(&self, key: &ChunkHash, row: usize) -> usize {
+        // Row-independent positions from the digest's two words
+        // (double hashing, like the Bloom filter).
+        let h = key
+            .prefix_u64()
+            .wrapping_add((row as u64 + 1).wrapping_mul(key.second_u64() | 1));
+        (h % self.width as u64) as usize
+    }
+
+    /// Adds one occurrence of `key`.
+    pub fn add(&mut self, key: &ChunkHash) {
+        for row in 0..self.rows.len() {
+            let i = self.index(key, row);
+            let slot = &mut self.rows[row][i];
+            *slot = slot.saturating_add(1);
+        }
+        self.updates += 1;
+    }
+
+    /// Estimated occurrence count of `key` (never less than the truth).
+    pub fn estimate(&self, key: &ChunkHash) -> u32 {
+        (0..self.rows.len())
+            .map(|row| self.rows[row][self.index(key, row)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total updates so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// RAM held by the counter arrays.
+    pub fn ram_bytes(&self) -> usize {
+        self.rows.len() * self.width * std::mem::size_of::<u32>()
+    }
+}
+
+impl std::fmt::Debug for CountMinSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountMinSketch")
+            .field("width", &self.width)
+            .field("depth", &self.rows.len())
+            .field("updates", &self.updates)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhd_hash::sha1;
+    use proptest::prelude::*;
+
+    fn key(i: u64) -> ChunkHash {
+        sha1(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn never_undercounts() {
+        let mut s = CountMinSketch::new(512, 4);
+        for i in 0..200u64 {
+            for _ in 0..=(i % 5) {
+                s.add(&key(i));
+            }
+        }
+        for i in 0..200u64 {
+            assert!(s.estimate(&key(i)) >= (i % 5 + 1) as u32, "key {i}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_stands_out() {
+        let mut s = CountMinSketch::with_epsilon(0.01);
+        for i in 0..5_000u64 {
+            s.add(&key(i));
+        }
+        for _ in 0..500 {
+            s.add(&key(999_999));
+        }
+        let hot = s.estimate(&key(999_999));
+        assert!((500..600).contains(&hot), "hot estimate {hot}");
+        // A cold key's overcount stays within ~e/width · N.
+        let cold = s.estimate(&key(123_456_789));
+        assert!(cold < 60, "cold estimate {cold}");
+    }
+
+    #[test]
+    fn unseen_keys_estimate_near_zero_when_sparse() {
+        let mut s = CountMinSketch::new(4096, 4);
+        for i in 0..100u64 {
+            s.add(&key(i));
+        }
+        assert_eq!(s.estimate(&key(1_000_000)), 0);
+        assert_eq!(s.updates(), 100);
+        assert!(s.ram_bytes() >= 4096 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = CountMinSketch::new(0, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// One-sided error: estimate(k) >= true_count(k), always.
+        #[test]
+        fn prop_one_sided(adds in proptest::collection::vec(0u64..64, 1..500)) {
+            let mut s = CountMinSketch::new(256, 4);
+            let mut truth = std::collections::HashMap::new();
+            for a in &adds {
+                s.add(&key(*a));
+                *truth.entry(*a).or_insert(0u32) += 1;
+            }
+            for (k, count) in truth {
+                prop_assert!(s.estimate(&key(k)) >= count);
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The Manifest cache used by the deduplication engines.
+
+use mhd_hash::{ChunkHash, FxHashMap};
+use mhd_store::{Manifest, ManifestId};
+
+use crate::LruCache;
+
+/// A resident Manifest plus its hash index and dirty flag.
+pub struct CachedManifest {
+    /// The manifest content. Mutations must go through
+    /// [`ManifestCache::mutate`] so the indexes stay consistent.
+    manifest: Manifest,
+    /// hash → entry index within `manifest.entries` (later entries win).
+    index: FxHashMap<ChunkHash, u32>,
+    /// Needs write-back before eviction (set by HHR re-chunking).
+    dirty: bool,
+}
+
+impl CachedManifest {
+    /// Read access to the manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Entry index of `hash` within this manifest.
+    pub fn find(&self, hash: &ChunkHash) -> Option<u32> {
+        self.index.get(hash).copied()
+    }
+
+    /// Whether the manifest has unwritten modifications.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+}
+
+/// LRU cache of Manifests with a cache-wide hash index.
+///
+/// The paper's description — each cached Manifest "organized as a hash
+/// table", incoming hashes matched against the cache — implies a per-chunk
+/// probe of every resident manifest; we keep an aggregate `hash →
+/// manifests` index instead so the probe is O(1) regardless of cache size,
+/// which changes nothing observable (same hits, same misses).
+pub struct ManifestCache {
+    lru: LruCache<ManifestId, CachedManifest>,
+    /// Which resident manifests contain each hash (usually exactly one).
+    by_hash: FxHashMap<ChunkHash, Vec<ManifestId>>,
+}
+
+impl ManifestCache {
+    /// Creates a cache holding at most `capacity` manifests.
+    pub fn new(capacity: usize) -> Self {
+        ManifestCache { lru: LruCache::new(capacity), by_hash: FxHashMap::default() }
+    }
+
+    /// Number of resident manifests.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Whether `id` is resident.
+    pub fn contains(&self, id: ManifestId) -> bool {
+        self.lru.contains(&id)
+    }
+
+    fn index_insert(by_hash: &mut FxHashMap<ChunkHash, Vec<ManifestId>>, m: &Manifest) {
+        for e in &m.entries {
+            let ids = by_hash.entry(e.hash).or_default();
+            if !ids.contains(&m.id) {
+                ids.push(m.id);
+            }
+        }
+    }
+
+    fn index_remove(by_hash: &mut FxHashMap<ChunkHash, Vec<ManifestId>>, m: &Manifest) {
+        for e in &m.entries {
+            if let Some(ids) = by_hash.get_mut(&e.hash) {
+                ids.retain(|&id| id != m.id);
+                if ids.is_empty() {
+                    by_hash.remove(&e.hash);
+                }
+            }
+        }
+    }
+
+    /// Inserts a freshly loaded (clean) or newly created manifest.
+    ///
+    /// Returns the evicted manifest when one had to be freed, paired with
+    /// whether it was dirty — the caller must write dirty evictees back
+    /// ("a Manifest that has been set dirty, is written back to the disk
+    /// before it is freed").
+    #[must_use = "dirty evictees must be written back"]
+    pub fn insert(&mut self, manifest: Manifest, dirty: bool) -> Option<(Manifest, bool)> {
+        let index = manifest.build_index();
+        Self::index_insert(&mut self.by_hash, &manifest);
+        let entry = CachedManifest { manifest, index, dirty };
+        let evicted = self.lru.insert(entry.manifest.id, entry);
+        evicted.map(|(_, old)| {
+            Self::index_remove(&mut self.by_hash, &old.manifest);
+            (old.manifest, old.dirty)
+        })
+    }
+
+    /// Finds which resident manifest (if any) contains `hash`, touching it
+    /// as most-recently-used. Returns the manifest id and entry index.
+    pub fn find_hash(&mut self, hash: &ChunkHash) -> Option<(ManifestId, u32)> {
+        let id = *self.by_hash.get(hash)?.last()?;
+        let cached = self.lru.get(&id).expect("by_hash index out of sync with LRU");
+        let entry_idx = cached.find(hash).expect("per-manifest index out of sync");
+        Some((id, entry_idx))
+    }
+
+    /// Read access to a resident manifest, touching recency.
+    pub fn get(&mut self, id: ManifestId) -> Option<&CachedManifest> {
+        self.lru.get(&id)
+    }
+
+    /// Read access without touching recency.
+    pub fn peek(&self, id: ManifestId) -> Option<&CachedManifest> {
+        self.lru.peek(&id)
+    }
+
+    /// Mutates a resident manifest in place (the HHR re-chunking path),
+    /// rebuilding its hash indexes and marking it dirty.
+    ///
+    /// Returns `false` when `id` is not resident.
+    pub fn mutate(&mut self, id: ManifestId, f: impl FnOnce(&mut Manifest)) -> bool {
+        // Remove the old index contribution first (entry hashes change).
+        let Some(cached) = self.lru.get_mut(&id) else { return false };
+        let old = cached.manifest.clone();
+        f(&mut cached.manifest);
+        cached.index = cached.manifest.build_index();
+        cached.dirty = true;
+        let new = cached.manifest.clone();
+        Self::index_remove(&mut self.by_hash, &old);
+        Self::index_insert(&mut self.by_hash, &new);
+        true
+    }
+
+    /// Drains the cache LRU-first, returning every resident manifest and
+    /// its dirty flag (end-of-run write-back).
+    pub fn drain(&mut self) -> Vec<(Manifest, bool)> {
+        self.by_hash.clear();
+        self.lru.drain_lru_first().into_iter().map(|(_, c)| (c.manifest, c.dirty)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhd_hash::sha1;
+    use mhd_store::{DiskChunkId, ManifestEntry, ManifestFormat};
+
+    fn manifest(id: u64, hashes: &[u64]) -> Manifest {
+        let mut m = Manifest::new(ManifestId(id), ManifestFormat::HookFlags);
+        let mut offset = 0;
+        for &h in hashes {
+            m.entries.push(ManifestEntry {
+                hash: sha1(&h.to_le_bytes()),
+                container: DiskChunkId(id),
+                offset,
+                size: 10,
+                is_hook: false,
+            });
+            offset += 10;
+        }
+        m
+    }
+
+    #[test]
+    fn find_hash_hits_resident_manifest() {
+        let mut c = ManifestCache::new(4);
+        assert!(c.insert(manifest(1, &[10, 11]), false).is_none());
+        assert!(c.insert(manifest(2, &[20, 21]), false).is_none());
+        let (id, idx) = c.find_hash(&sha1(&21u64.to_le_bytes())).unwrap();
+        assert_eq!(id, ManifestId(2));
+        assert_eq!(idx, 1);
+        assert!(c.find_hash(&sha1(&99u64.to_le_bytes())).is_none());
+    }
+
+    #[test]
+    fn eviction_returns_dirty_flag_and_cleans_index() {
+        let mut c = ManifestCache::new(2);
+        assert!(c.insert(manifest(1, &[10]), true).is_none());
+        assert!(c.insert(manifest(2, &[20]), false).is_none());
+        let (evicted, dirty) = c.insert(manifest(3, &[30]), false).unwrap();
+        assert_eq!(evicted.id, ManifestId(1));
+        assert!(dirty);
+        // Evicted manifest's hashes are no longer findable.
+        assert!(c.find_hash(&sha1(&10u64.to_le_bytes())).is_none());
+        assert!(c.find_hash(&sha1(&20u64.to_le_bytes())).is_some());
+    }
+
+    #[test]
+    fn find_hash_touches_recency() {
+        let mut c = ManifestCache::new(2);
+        let _ = c.insert(manifest(1, &[10]), false);
+        let _ = c.insert(manifest(2, &[20]), false);
+        // Touch manifest 1, then insert: manifest 2 must be the evictee.
+        c.find_hash(&sha1(&10u64.to_le_bytes())).unwrap();
+        let (evicted, _) = c.insert(manifest(3, &[30]), false).unwrap();
+        assert_eq!(evicted.id, ManifestId(2));
+    }
+
+    #[test]
+    fn mutate_reindexes_and_marks_dirty() {
+        let mut c = ManifestCache::new(2);
+        let _ = c.insert(manifest(1, &[10, 11]), false);
+        assert!(c.mutate(ManifestId(1), |m| {
+            // Replace entry 0's hash (an HHR-style re-chunk).
+            m.entries[0].hash = sha1(&99u64.to_le_bytes());
+        }));
+        assert!(c.find_hash(&sha1(&10u64.to_le_bytes())).is_none());
+        assert_eq!(c.find_hash(&sha1(&99u64.to_le_bytes())), Some((ManifestId(1), 0)));
+        assert!(c.peek(ManifestId(1)).unwrap().is_dirty());
+        assert!(!c.mutate(ManifestId(9), |_| {}));
+    }
+
+    #[test]
+    fn drain_returns_everything_and_empties() {
+        let mut c = ManifestCache::new(4);
+        let _ = c.insert(manifest(1, &[10]), true);
+        let _ = c.insert(manifest(2, &[20]), false);
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(c.is_empty());
+        assert!(c.find_hash(&sha1(&10u64.to_le_bytes())).is_none());
+        let dirty: Vec<bool> = drained.iter().map(|(_, d)| *d).collect();
+        assert_eq!(dirty.iter().filter(|&&d| d).count(), 1);
+    }
+
+    #[test]
+    fn duplicate_hash_across_manifests_resolves_to_latest() {
+        let mut c = ManifestCache::new(4);
+        let _ = c.insert(manifest(1, &[10]), false);
+        let _ = c.insert(manifest(2, &[10]), false);
+        let (id, _) = c.find_hash(&sha1(&10u64.to_le_bytes())).unwrap();
+        assert_eq!(id, ManifestId(2));
+        // Evict manifest 2 by filling the cache; hash 10 must fall back to
+        // manifest 1... (evictions are LRU so touch 1 first)
+        c.get(ManifestId(1));
+    }
+}

@@ -1,0 +1,187 @@
+//! Adaptive chunker selection (Lee & Park \[21\] in the paper's §II):
+//! "a chunking method adaptively selecting the CDC and FSP algorithms
+//! based on the file type and the computational capabilities of the
+//! devices".
+//!
+//! CDC's rolling fingerprint costs CPU per byte; on low-power devices that
+//! budget is only worth paying where content-defined boundaries can
+//! actually help. High-entropy inputs (compressed archives, encrypted
+//! blobs, media) deduplicate either whole-file or not at all — boundary
+//! alignment buys nothing — so [`AdaptiveChunker`] routes them to cheap
+//! fixed-size partitioning and keeps CDC for structured data, with the
+//! entropy threshold tightening as the device profile weakens.
+
+use crate::{Chunker, FixedChunker, RabinChunker};
+
+/// Computational budget of the device doing the chunking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceProfile {
+    /// Servers/desktops: CDC for everything except near-incompressible
+    /// data.
+    Workstation,
+    /// Phones/embedded: CDC only for clearly structured data.
+    Mobile,
+}
+
+impl DeviceProfile {
+    /// Entropy threshold (bits/byte) above which FSP is selected.
+    fn threshold(&self) -> f64 {
+        match self {
+            DeviceProfile::Workstation => 7.9,
+            DeviceProfile::Mobile => 7.2,
+        }
+    }
+}
+
+/// Which underlying algorithm [`AdaptiveChunker`] picked for an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selected {
+    /// Content-defined chunking.
+    Cdc,
+    /// Fixed-size partitioning.
+    Fsp,
+}
+
+/// Shannon entropy estimate (bits/byte) over a sample of `data`.
+///
+/// Samples at most 64 KiB (prefix + suffix) — enough to classify media
+/// versus structured content without reading the whole input.
+pub fn estimate_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    const SAMPLE: usize = 32 << 10;
+    let mut counts = [0u64; 256];
+    let mut total = 0u64;
+    let head = &data[..data.len().min(SAMPLE)];
+    for &b in head {
+        counts[b as usize] += 1;
+        total += 1;
+    }
+    if data.len() > 2 * SAMPLE {
+        for &b in &data[data.len() - SAMPLE..] {
+            counts[b as usize] += 1;
+            total += 1;
+        }
+    }
+    let mut h = 0.0f64;
+    for &c in &counts {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// A chunker that picks CDC or FSP per input.
+#[derive(Clone)]
+pub struct AdaptiveChunker {
+    cdc: RabinChunker,
+    fsp: FixedChunker,
+    profile: DeviceProfile,
+}
+
+impl AdaptiveChunker {
+    /// Builds the adaptive chunker at the given expected chunk size.
+    pub fn with_avg(avg: usize, profile: DeviceProfile) -> Result<Self, crate::ParamError> {
+        Ok(AdaptiveChunker {
+            cdc: RabinChunker::with_avg(avg)?,
+            fsp: FixedChunker::new(avg),
+            profile,
+        })
+    }
+
+    /// Which algorithm would be used for `data`.
+    pub fn select(&self, data: &[u8]) -> Selected {
+        if estimate_entropy(data) > self.profile.threshold() {
+            Selected::Fsp
+        } else {
+            Selected::Cdc
+        }
+    }
+}
+
+impl Chunker for AdaptiveChunker {
+    fn cut_points(&self, data: &[u8]) -> Vec<usize> {
+        match self.select(data) {
+            Selected::Cdc => self.cdc.cut_points(data),
+            Selected::Fsp => self.fsp.cut_points(data),
+        }
+    }
+
+    fn expected_chunk_size(&self) -> usize {
+        self.cdc.expected_chunk_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    /// ASCII-ish structured content (low entropy).
+    fn texty(len: usize) -> Vec<u8> {
+        (0..len).map(|i| b"the quick brown fox {}\n"[i % 23]).collect()
+    }
+
+    #[test]
+    fn entropy_estimates_are_sane() {
+        assert_eq!(estimate_entropy(&[]), 0.0);
+        assert_eq!(estimate_entropy(&[7u8; 10_000]), 0.0);
+        assert!(estimate_entropy(&texty(10_000)) < 5.0);
+        assert!(estimate_entropy(&random(100_000, 1)) > 7.9);
+    }
+
+    #[test]
+    fn routes_by_content() {
+        let c = AdaptiveChunker::with_avg(1024, DeviceProfile::Workstation).unwrap();
+        assert_eq!(c.select(&random(100_000, 2)), Selected::Fsp);
+        assert_eq!(c.select(&texty(100_000)), Selected::Cdc);
+    }
+
+    #[test]
+    fn mobile_profile_prefers_fsp_more() {
+        // Mid-entropy data: base64-ish alphabet (64 symbols → 6 bits/byte
+        // uniform, push toward 7.3 with 160 symbols).
+        let mid: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) % 160) as u8).collect();
+        let e = estimate_entropy(&mid);
+        assert!(e > 7.2 && e < 7.9, "mid entropy {e}");
+        let mobile = AdaptiveChunker::with_avg(1024, DeviceProfile::Mobile).unwrap();
+        let workstation = AdaptiveChunker::with_avg(1024, DeviceProfile::Workstation).unwrap();
+        assert_eq!(mobile.select(&mid), Selected::Fsp);
+        assert_eq!(workstation.select(&mid), Selected::Cdc);
+    }
+
+    #[test]
+    fn fsp_path_produces_fixed_cuts() {
+        let c = AdaptiveChunker::with_avg(1024, DeviceProfile::Workstation).unwrap();
+        let data = random(10_240, 3);
+        let spans = c.spans(&data);
+        assert!(spans.iter().all(|s| s.len == 1024));
+    }
+
+    #[test]
+    fn cdc_path_matches_rabin() {
+        let c = AdaptiveChunker::with_avg(1024, DeviceProfile::Workstation).unwrap();
+        let data = texty(100_000);
+        let rabin = RabinChunker::with_avg(1024).unwrap();
+        assert_eq!(c.cut_points(&data), rabin.cut_points(&data));
+    }
+
+    #[test]
+    fn tiles_either_way() {
+        let c = AdaptiveChunker::with_avg(512, DeviceProfile::Mobile).unwrap();
+        for data in [random(33_333, 4), texty(33_333)] {
+            assert_eq!(c.spans(&data).iter().map(|s| s.len).sum::<usize>(), data.len());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The LBFS-style min/avg/max content-defined chunker (the paper's base
+//! chunker, described in §II as "the Rabin Fingerprint chunking algorithm").
+
+use std::sync::Arc;
+
+use crate::params::ChunkerParams;
+use crate::rabin::{RabinFingerprint, RabinTables};
+use crate::Chunker;
+
+/// Content-defined chunker using a rolling Rabin fingerprint.
+///
+/// ```
+/// use mhd_chunking::{Chunker, RabinChunker};
+///
+/// let chunker = RabinChunker::with_avg(1024).unwrap();
+/// let data = vec![42u8; 10_000];
+/// let spans = chunker.spans(&data);
+/// assert_eq!(spans.iter().map(|s| s.len).sum::<usize>(), data.len());
+/// ```
+///
+/// A position is a cut point when the fingerprint of the trailing window
+/// matches the configured pattern and the current chunk is at least `min`
+/// bytes long; a cut is forced at `max` bytes. Positions below `min` are
+/// skipped entirely (the fingerprint is warmed over the `window` bytes
+/// preceding the first testable position), which is the standard
+/// optimisation and changes nothing semantically because the fingerprint
+/// depends only on the trailing window.
+#[derive(Clone)]
+pub struct RabinChunker {
+    params: ChunkerParams,
+    tables: Arc<RabinTables>,
+}
+
+impl RabinChunker {
+    /// Creates a chunker; panics only via [`ChunkerParams::validate`] being
+    /// violated, which the constructor checks and returns as an error.
+    pub fn new(params: ChunkerParams) -> Result<Self, crate::ParamError> {
+        params.validate()?;
+        Ok(RabinChunker { params, tables: RabinTables::default_with_window(params.window) })
+    }
+
+    /// Convenience constructor from an expected chunk size.
+    pub fn with_avg(avg: usize) -> Result<Self, crate::ParamError> {
+        Self::new(ChunkerParams::with_avg(avg)?)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> ChunkerParams {
+        self.params
+    }
+
+    /// Finds the end of the next chunk starting at `start` within `data`.
+    ///
+    /// Returns an offset in `(start, data.len()]`. Exposed so engines can
+    /// re-chunk sub-ranges (Bimodal/SubChunk re-chunking, HHR byte-range
+    /// splitting) without materialising a boundary vector.
+    pub fn next_cut(&self, data: &[u8], start: usize) -> usize {
+        let p = &self.params;
+        let remaining = data.len() - start;
+        if remaining <= p.min {
+            return data.len();
+        }
+        let limit = remaining.min(p.max); // max chunk length from here
+        let mask = p.mask();
+        let magic = p.magic();
+
+        // Warm the fingerprint over the `window` bytes preceding the first
+        // testable position (position start+min is the first allowed cut;
+        // its window covers [start+min-window, start+min)).
+        let mut fp = RabinFingerprint::new(self.tables.clone());
+        let first_test = start + p.min;
+        for &b in &data[first_test - p.window..first_test] {
+            fp.roll(b);
+        }
+        if fp.value() & mask == magic {
+            return first_test;
+        }
+        for (i, &b) in data[first_test..start + limit].iter().enumerate() {
+            fp.roll(b);
+            if fp.value() & mask == magic {
+                return first_test + i + 1;
+            }
+        }
+        start + limit
+    }
+}
+
+impl Chunker for RabinChunker {
+    fn cut_points(&self, data: &[u8]) -> Vec<usize> {
+        let mut cuts = Vec::with_capacity(data.len() / self.params.avg + 1);
+        let mut start = 0usize;
+        while start < data.len() {
+            let end = self.next_cut(data, start);
+            debug_assert!(end > start);
+            cuts.push(end);
+            start = end;
+        }
+        cuts
+    }
+
+    fn expected_chunk_size(&self) -> usize {
+        self.params.avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.random()).collect()
+    }
+
+    #[test]
+    fn chunks_tile_and_respect_bounds() {
+        let chunker = RabinChunker::with_avg(1024).unwrap();
+        let data = random_data(200_000, 1);
+        let spans = chunker.spans(&data);
+        assert!(!spans.is_empty());
+        let p = chunker.params();
+        let mut covered = 0usize;
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(s.offset, covered);
+            covered += s.len;
+            let is_last = i == spans.len() - 1;
+            assert!(s.len <= p.max, "chunk {i} too big: {}", s.len);
+            if !is_last {
+                assert!(s.len >= p.min, "chunk {i} too small: {}", s.len);
+            }
+        }
+        assert_eq!(covered, data.len());
+    }
+
+    #[test]
+    fn average_size_is_plausible() {
+        let avg = 1024usize;
+        let chunker = RabinChunker::with_avg(avg).unwrap();
+        let data = random_data(2_000_000, 2);
+        let n = chunker.cut_points(&data).len();
+        let measured = data.len() / n;
+        // Truncated-geometric mean lands well within 2x of ECS.
+        assert!(
+            measured > avg / 2 && measured < avg * 2,
+            "measured avg {measured} vs expected {avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let chunker = RabinChunker::with_avg(512).unwrap();
+        let data = random_data(50_000, 3);
+        assert_eq!(chunker.cut_points(&data), chunker.cut_points(&data));
+    }
+
+    #[test]
+    fn identical_suffix_realigns_after_prefix_insert() {
+        // The content-defined property that defeats boundary shifting:
+        // inserting bytes at the front only disturbs boundaries near the
+        // insertion; later cut points realign (same absolute content).
+        let chunker = RabinChunker::with_avg(512).unwrap();
+        let data = random_data(100_000, 4);
+        let mut shifted = random_data(100, 5);
+        shifted.extend_from_slice(&data);
+
+        let cuts_a: Vec<usize> = chunker.cut_points(&data);
+        let cuts_b: Vec<usize> = chunker.cut_points(&shifted).iter().map(|c| c - 100).collect();
+
+        // Compare boundary sets over the common tail; most should coincide.
+        let set_a: std::collections::HashSet<_> = cuts_a.iter().copied().collect();
+        let tail_b: Vec<_> = cuts_b.iter().filter(|&&c| c >= 10_000).collect();
+        let realigned = tail_b.iter().filter(|&&&c| set_a.contains(&c)).count();
+        assert!(
+            realigned * 10 >= tail_b.len() * 9,
+            "only {realigned}/{} boundaries realigned",
+            tail_b.len()
+        );
+    }
+
+    #[test]
+    fn uniform_data_does_not_degenerate() {
+        // All-zero data yields fingerprint 0 everywhere after warmup; the
+        // nonzero magic means we always cut at max, never at min.
+        let chunker = RabinChunker::with_avg(512).unwrap();
+        let data = vec![0u8; 100_000];
+        let spans = chunker.spans(&data);
+        let p = chunker.params();
+        for s in &spans[..spans.len() - 1] {
+            assert_eq!(s.len, p.max);
+        }
+    }
+
+    #[test]
+    fn short_inputs() {
+        let chunker = RabinChunker::with_avg(512).unwrap();
+        assert!(chunker.cut_points(&[]).is_empty());
+        for len in [1usize, 10, 127, 128, 129] {
+            let data = random_data(len, len as u64);
+            let spans = chunker.spans(&data);
+            assert_eq!(spans.iter().map(|s| s.len).sum::<usize>(), len);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_tiles_any_input(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+            let chunker = RabinChunker::with_avg(256).unwrap();
+            let spans = chunker.spans(&data);
+            let mut reassembled = Vec::new();
+            for s in &spans {
+                reassembled.extend_from_slice(&data[s.offset..s.end()]);
+            }
+            prop_assert_eq!(reassembled, data);
+        }
+
+        #[test]
+        fn prop_bounds_hold(data in proptest::collection::vec(any::<u8>(), 1..16384)) {
+            let chunker = RabinChunker::with_avg(256).unwrap();
+            let p = chunker.params();
+            let spans = chunker.spans(&data);
+            for (i, s) in spans.iter().enumerate() {
+                prop_assert!(s.len <= p.max);
+                if i + 1 != spans.len() {
+                    prop_assert!(s.len >= p.min);
+                }
+            }
+        }
+    }
+}

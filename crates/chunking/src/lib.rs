@@ -1,0 +1,126 @@
+//! Content-defined chunking for the `mhd-dedup` workspace.
+//!
+//! The paper's chunker is the classic Rabin-fingerprint sliding-window
+//! scheme from LBFS \[4\]: a fingerprint is computed at every byte position
+//! over a small trailing window, and a position is a *cut point* when the
+//! fingerprint matches a predefined pattern and the chunk is longer than a
+//! lower bound, or unconditionally when the chunk reaches an upper bound.
+//! This crate implements:
+//!
+//! * [`poly`] — carry-less GF(2) polynomial arithmetic with an
+//!   irreducibility test (Rabin's criterion), used to derive the fingerprint
+//!   tables from a provably irreducible modulus,
+//! * [`RabinFingerprint`] — the table-driven rolling fingerprint itself,
+//! * [`RabinChunker`] — the LBFS-style min/avg/max content-defined chunker
+//!   (the paper's base chunker, §II),
+//! * [`TttdChunker`] — the Two-Threshold Two-Divisor variant \[3\] that
+//!   falls back to a secondary divisor instead of a hard cut at the upper
+//!   bound, and
+//! * [`FixedChunker`] — fixed-size partitioning (FSP), the Venti/OceanStore
+//!   strawman that suffers from boundary shifting, and
+//! * [`AdaptiveChunker`] — the Lee & Park \[21\] per-input CDC/FSP
+//!   selection for constrained devices.
+//!
+//! All chunkers implement the [`Chunker`] trait and produce boundaries that
+//! exactly tile the input; `concat(chunks) == input` always holds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod poly;
+
+mod adaptive;
+mod cdc;
+mod fixed;
+mod params;
+mod rabin;
+mod stats;
+mod stream;
+mod tttd;
+
+pub use adaptive::{estimate_entropy, AdaptiveChunker, DeviceProfile, Selected};
+pub use cdc::RabinChunker;
+pub use fixed::FixedChunker;
+pub use params::{ChunkerParams, ParamError, DEFAULT_WINDOW};
+pub use rabin::{RabinFingerprint, RabinTables, DEFAULT_POLY};
+pub use stats::SizeStats;
+pub use stream::StreamChunker;
+pub use tttd::TttdChunker;
+
+/// A chunk boundary description: a half-open byte range within one input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the chunk within the input.
+    pub offset: usize,
+    /// Chunk length in bytes (always > 0).
+    pub len: usize,
+}
+
+impl Span {
+    /// Exclusive end offset.
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// A content-defined (or fixed) chunking strategy.
+///
+/// Implementations return the *exclusive end offsets* of every chunk, in
+/// increasing order, with the final entry equal to `data.len()`. An empty
+/// input produces no cuts.
+pub trait Chunker {
+    /// Returns the sorted, exclusive end offsets of all chunks of `data`.
+    fn cut_points(&self, data: &[u8]) -> Vec<usize>;
+
+    /// Expected (average) chunk size in bytes, used by engines for
+    /// parameter scaling (`ECS` in the paper).
+    fn expected_chunk_size(&self) -> usize;
+
+    /// Convenience: full [`Span`] list tiling `data`.
+    fn spans(&self, data: &[u8]) -> Vec<Span> {
+        let cuts = self.cut_points(data);
+        let mut spans = Vec::with_capacity(cuts.len());
+        let mut start = 0usize;
+        for end in cuts {
+            debug_assert!(end > start, "cut points must strictly increase");
+            spans.push(Span { offset: start, len: end - start });
+            start = end;
+        }
+        debug_assert_eq!(start, data.len(), "chunks must tile the input");
+        spans
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    struct Halver;
+    impl Chunker for Halver {
+        fn cut_points(&self, data: &[u8]) -> Vec<usize> {
+            if data.is_empty() {
+                vec![]
+            } else if data.len() == 1 {
+                vec![1]
+            } else {
+                vec![data.len() / 2, data.len()]
+            }
+        }
+        fn expected_chunk_size(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn spans_tile_input() {
+        let data = [0u8; 10];
+        let spans = Halver.spans(&data);
+        assert_eq!(spans, vec![Span { offset: 0, len: 5 }, Span { offset: 5, len: 5 }]);
+        assert_eq!(spans.last().unwrap().end(), data.len());
+    }
+
+    #[test]
+    fn empty_input_no_spans() {
+        assert!(Halver.spans(&[]).is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared chunker parameterisation.
+
+use std::fmt;
+
+/// Default sliding-window size (bytes) for Rabin fingerprinting, as in LBFS.
+pub const DEFAULT_WINDOW: usize = 48;
+
+/// Parameters for a content-defined chunker.
+///
+/// `avg` is the paper's *expected chunk size* (`ECS`). The cut-point test
+/// fires with probability `1/avg` per position, giving (memoryless)
+/// geometric chunk lengths truncated to `[min, max]`. The conventional
+/// LBFS-style derivation `min = avg/4`, `max = avg*4` is provided by
+/// [`ChunkerParams::with_avg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkerParams {
+    /// Minimum chunk size in bytes. Cut points are not tested below this.
+    pub min: usize,
+    /// Expected chunk size (`ECS`); must be a power of two for mask-based
+    /// matching.
+    pub avg: usize,
+    /// Maximum chunk size; an unconditional cut is made at this length.
+    pub max: usize,
+    /// Sliding-window size in bytes.
+    pub window: usize,
+}
+
+impl ChunkerParams {
+    /// LBFS-style parameters: `min = avg/4`, `max = avg*4`, default window.
+    ///
+    /// The window is shrunk to `min` when `avg` is very small so that the
+    /// fingerprint is always warmed up before the first testable position.
+    pub fn with_avg(avg: usize) -> Result<Self, ParamError> {
+        let min = (avg / 4).max(1);
+        let params = ChunkerParams {
+            min,
+            avg,
+            max: avg.saturating_mul(4),
+            window: DEFAULT_WINDOW.min(min),
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Validates the invariants required by the chunkers.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !self.avg.is_power_of_two() {
+            return Err(ParamError::AvgNotPowerOfTwo(self.avg));
+        }
+        if self.min == 0 {
+            return Err(ParamError::ZeroMin);
+        }
+        if !(self.min <= self.avg && self.avg <= self.max) {
+            return Err(ParamError::Unordered { min: self.min, avg: self.avg, max: self.max });
+        }
+        if self.window == 0 || self.window > self.min {
+            return Err(ParamError::WindowTooLarge { window: self.window, min: self.min });
+        }
+        Ok(())
+    }
+
+    /// Fingerprint mask: cut-point test is `(fp & mask) == magic`.
+    pub fn mask(&self) -> u64 {
+        (self.avg as u64) - 1
+    }
+
+    /// The matched fingerprint pattern. A fixed non-zero-biased constant is
+    /// used so that long runs of identical bytes (fingerprint 0) do not cut
+    /// at every position.
+    pub fn magic(&self) -> u64 {
+        // Golden-ratio constant; any fixed pattern works for uniform
+        // fingerprints, this one is nonzero under every power-of-two mask.
+        0x9E37_79B9_7F4A_7C15 & self.mask()
+    }
+}
+
+/// Invalid [`ChunkerParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// `avg` must be a power of two.
+    AvgNotPowerOfTwo(usize),
+    /// `min` must be positive.
+    ZeroMin,
+    /// `min <= avg <= max` violated.
+    Unordered {
+        /// provided minimum
+        min: usize,
+        /// provided average
+        avg: usize,
+        /// provided maximum
+        max: usize,
+    },
+    /// The window must fit inside the minimum chunk so the fingerprint is
+    /// warm before the first testable cut position.
+    WindowTooLarge {
+        /// provided window
+        window: usize,
+        /// provided minimum
+        min: usize,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::AvgNotPowerOfTwo(avg) => {
+                write!(f, "avg chunk size {avg} is not a power of two")
+            }
+            ParamError::ZeroMin => write!(f, "min chunk size must be positive"),
+            ParamError::Unordered { min, avg, max } => {
+                write!(f, "need min <= avg <= max, got {min}/{avg}/{max}")
+            }
+            ParamError::WindowTooLarge { window, min } => {
+                write!(f, "window {window} must be in 1..=min ({min})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_avg_derives_classic_bounds() {
+        let p = ChunkerParams::with_avg(4096).unwrap();
+        assert_eq!((p.min, p.avg, p.max, p.window), (1024, 4096, 16384, 48));
+    }
+
+    #[test]
+    fn tiny_avg_shrinks_window() {
+        let p = ChunkerParams::with_avg(64).unwrap();
+        assert_eq!(p.min, 16);
+        assert_eq!(p.window, 16);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn magic_is_under_mask_and_nonzero() {
+        for avg in [2usize, 64, 512, 4096, 65536] {
+            let p = ChunkerParams::with_avg(avg).unwrap();
+            assert_eq!(p.magic() & !p.mask(), 0);
+            assert_ne!(p.magic(), 0, "avg {avg}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(ChunkerParams::with_avg(3000), Err(ParamError::AvgNotPowerOfTwo(3000))));
+    }
+
+    #[test]
+    fn rejects_unordered() {
+        let p = ChunkerParams { min: 100, avg: 64, max: 4096, window: 8 };
+        assert!(matches!(p.validate(), Err(ParamError::Unordered { .. })));
+    }
+
+    #[test]
+    fn rejects_oversized_window() {
+        let p = ChunkerParams { min: 16, avg: 64, max: 256, window: 48 };
+        assert!(matches!(p.validate(), Err(ParamError::WindowTooLarge { .. })));
+    }
+}

@@ -1,0 +1,148 @@
+//! Streaming chunking over any [`std::io::Read`].
+//!
+//! The paper's system chunks "the byte stream created by concatenating the
+//! content of the files in the unprocessed file system". For inputs that do
+//! not fit in memory, [`StreamChunker`] applies a [`Chunker`] incrementally:
+//! it keeps at most `max + refill` bytes buffered, emits every chunk whose
+//! end is provably stable (i.e. at least one `max`-size horizon from the
+//! buffer end), and shifts the buffer.
+
+use std::io::Read;
+
+use crate::RabinChunker;
+
+/// Incrementally chunks a byte stream with bounded memory.
+pub struct StreamChunker<R> {
+    reader: R,
+    chunker: RabinChunker,
+    buf: Vec<u8>,
+    /// Absolute stream offset of `buf[0]`.
+    base: u64,
+    /// Read granularity.
+    refill: usize,
+    eof: bool,
+}
+
+/// A chunk produced by [`StreamChunker`]: absolute offset plus owned bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamedChunk {
+    /// Absolute byte offset of this chunk in the stream.
+    pub offset: u64,
+    /// The chunk payload.
+    pub data: Vec<u8>,
+}
+
+impl<R: Read> StreamChunker<R> {
+    /// Wraps `reader`, cutting with `chunker`.
+    pub fn new(reader: R, chunker: RabinChunker) -> Self {
+        let refill = chunker.params().max.max(64 * 1024);
+        StreamChunker { reader, chunker, buf: Vec::new(), base: 0, refill, eof: false }
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut scratch = vec![0u8; self.refill];
+        while !self.eof && self.buf.len() < 2 * self.chunker.params().max + self.refill {
+            let n = self.reader.read(&mut scratch)?;
+            if n == 0 {
+                self.eof = true;
+            } else {
+                self.buf.extend_from_slice(&scratch[..n]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the next chunk, or `Ok(None)` at end of stream.
+    pub fn next_chunk(&mut self) -> std::io::Result<Option<StreamedChunk>> {
+        self.fill()?;
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        let cut = self.chunker.next_cut(&self.buf, 0);
+        // A cut is only final if it cannot move when more data arrives:
+        // either we are at EOF, or the cut is at least one full `max`
+        // horizon before the buffer end (next_cut(_, 0) never looks past
+        // `max` bytes).
+        debug_assert!(self.eof || cut <= self.chunker.params().max);
+        let data: Vec<u8> = self.buf.drain(..cut).collect();
+        let offset = self.base;
+        self.base += data.len() as u64;
+        Ok(Some(StreamedChunk { offset, data }))
+    }
+
+    /// Drains the whole stream into a chunk list (convenience for tests and
+    /// small inputs).
+    pub fn collect_all(mut self) -> std::io::Result<Vec<StreamedChunk>> {
+        let mut out = Vec::new();
+        while let Some(c) = self.next_chunk()? {
+            out.push(c);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Chunker;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.random()).collect()
+    }
+
+    #[test]
+    fn matches_in_memory_chunking() {
+        let data = random_data(500_000, 21);
+        let chunker = RabinChunker::with_avg(1024).unwrap();
+        let expect = chunker.spans(&data);
+
+        let streamed =
+            StreamChunker::new(&data[..], chunker.clone()).collect_all().expect("in-memory read");
+        assert_eq!(streamed.len(), expect.len());
+        for (s, e) in streamed.iter().zip(&expect) {
+            assert_eq!(s.offset as usize, e.offset);
+            assert_eq!(&s.data[..], &data[e.offset..e.end()]);
+        }
+    }
+
+    #[test]
+    fn reassembles_exactly() {
+        let data = random_data(123_457, 22);
+        let chunker = RabinChunker::with_avg(512).unwrap();
+        let streamed = StreamChunker::new(&data[..], chunker).collect_all().unwrap();
+        let rejoined: Vec<u8> = streamed.into_iter().flat_map(|c| c.data).collect();
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let chunker = RabinChunker::with_avg(512).unwrap();
+        let mut s = StreamChunker::new(&[][..], chunker);
+        assert!(s.next_chunk().unwrap().is_none());
+    }
+
+    /// A reader that trickles one byte at a time, exercising refill logic.
+    struct Trickle<'a>(&'a [u8]);
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn trickling_reader_equivalent() {
+        let data = random_data(30_000, 23);
+        let chunker = RabinChunker::with_avg(512).unwrap();
+        let whole = StreamChunker::new(&data[..], chunker.clone()).collect_all().unwrap();
+        let trickled = StreamChunker::new(Trickle(&data), chunker).collect_all().unwrap();
+        assert_eq!(whole, trickled);
+    }
+}

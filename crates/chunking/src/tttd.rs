@@ -1,0 +1,196 @@
+//! The Two-Threshold Two-Divisor chunker (Eshghi & Tang \[3\]).
+//!
+//! TTTD improves on the hard max-size cut of the basic algorithm: while
+//! scanning, positions matching a *backup* (more permissive) divisor are
+//! remembered, and if the main divisor never fires before the upper bound,
+//! the most recent backup candidate is used instead of an arbitrary cut at
+//! `max`. This keeps more cut points content-defined, which matters for
+//! data with long low-entropy runs.
+
+use std::sync::Arc;
+
+use crate::params::ChunkerParams;
+use crate::rabin::{RabinFingerprint, RabinTables};
+use crate::Chunker;
+
+/// TTTD content-defined chunker.
+#[derive(Clone)]
+pub struct TttdChunker {
+    params: ChunkerParams,
+    tables: Arc<RabinTables>,
+    backup_mask: u64,
+    backup_magic: u64,
+}
+
+impl TttdChunker {
+    /// Creates a TTTD chunker. The backup divisor is half the main divisor
+    /// (i.e. fires with twice the probability), the conventional choice.
+    pub fn new(params: ChunkerParams) -> Result<Self, crate::ParamError> {
+        params.validate()?;
+        let backup_mask = params.mask() >> 1;
+        Ok(TttdChunker {
+            params,
+            tables: RabinTables::default_with_window(params.window),
+            backup_mask,
+            backup_magic: params.magic() & backup_mask,
+        })
+    }
+
+    /// Convenience constructor from an expected chunk size.
+    pub fn with_avg(avg: usize) -> Result<Self, crate::ParamError> {
+        Self::new(ChunkerParams::with_avg(avg)?)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> ChunkerParams {
+        self.params
+    }
+
+    fn next_cut(&self, data: &[u8], start: usize) -> usize {
+        let p = &self.params;
+        let remaining = data.len() - start;
+        if remaining <= p.min {
+            return data.len();
+        }
+        let limit = remaining.min(p.max);
+        let mask = p.mask();
+        let magic = p.magic();
+
+        let mut fp = RabinFingerprint::new(self.tables.clone());
+        let first_test = start + p.min;
+        for &b in &data[first_test - p.window..first_test] {
+            fp.roll(b);
+        }
+        let mut backup: Option<usize> = None;
+        let check = |value: u64, pos: usize, backup: &mut Option<usize>| -> bool {
+            if value & mask == magic {
+                return true;
+            }
+            if value & self.backup_mask == self.backup_magic {
+                *backup = Some(pos);
+            }
+            false
+        };
+        if check(fp.value(), first_test, &mut backup) {
+            return first_test;
+        }
+        for (i, &b) in data[first_test..start + limit].iter().enumerate() {
+            fp.roll(b);
+            if check(fp.value(), first_test + i + 1, &mut backup) {
+                return first_test + i + 1;
+            }
+        }
+        // Reached the upper bound without a main-divisor match: prefer the
+        // most recent backup candidate. (Only when the bound was actually
+        // the max — a short tail is simply the final chunk.)
+        if limit == p.max {
+            if let Some(pos) = backup {
+                return pos;
+            }
+        }
+        start + limit
+    }
+}
+
+impl Chunker for TttdChunker {
+    fn cut_points(&self, data: &[u8]) -> Vec<usize> {
+        let mut cuts = Vec::with_capacity(data.len() / self.params.avg + 1);
+        let mut start = 0usize;
+        while start < data.len() {
+            let end = self.next_cut(data, start);
+            debug_assert!(end > start);
+            cuts.push(end);
+            start = end;
+        }
+        cuts
+    }
+
+    fn expected_chunk_size(&self) -> usize {
+        self.params.avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RabinChunker;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.random()).collect()
+    }
+
+    #[test]
+    fn tiles_and_respects_bounds() {
+        let chunker = TttdChunker::with_avg(1024).unwrap();
+        let data = random_data(300_000, 7);
+        let p = chunker.params();
+        let spans = chunker.spans(&data);
+        let mut covered = 0usize;
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(s.offset, covered);
+            covered += s.len;
+            assert!(s.len <= p.max);
+            if i + 1 != spans.len() {
+                assert!(s.len >= p.min);
+            }
+        }
+        assert_eq!(covered, data.len());
+    }
+
+    #[test]
+    fn fewer_max_size_chunks_than_plain_cdc_on_low_entropy_data() {
+        // Data with long compressible runs interrupted by random islands:
+        // plain CDC cuts runs at hard max; TTTD finds backup cut points in
+        // the random islands more often.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            data.extend(std::iter::repeat_n(0xAAu8, rng.random_range(500..3000)));
+            data.extend((0..rng.random_range(100..400)).map(|_| rng.random::<u8>()));
+        }
+        let cdc = RabinChunker::with_avg(512).unwrap();
+        let tttd = TttdChunker::with_avg(512).unwrap();
+        let max = cdc.params().max;
+        let cdc_hard = cdc.spans(&data).iter().filter(|s| s.len == max).count();
+        let tttd_hard = tttd.spans(&data).iter().filter(|s| s.len == max).count();
+        assert!(
+            tttd_hard <= cdc_hard,
+            "TTTD produced more hard cuts ({tttd_hard}) than CDC ({cdc_hard})"
+        );
+    }
+
+    #[test]
+    fn main_divisor_cuts_match_cdc() {
+        // Where the main divisor fires first, TTTD and plain CDC agree.
+        let data = random_data(100_000, 13);
+        let cdc = RabinChunker::with_avg(512).unwrap();
+        let tttd = TttdChunker::with_avg(512).unwrap();
+        // On fully random data hard cuts are rare, so most boundaries agree.
+        let a: std::collections::HashSet<_> = cdc.cut_points(&data).into_iter().collect();
+        let b = tttd.cut_points(&data);
+        let common = b.iter().filter(|c| a.contains(c)).count();
+        assert!(common * 10 >= b.len() * 9, "{common}/{} agree", b.len());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_tiles_any_input(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+            let chunker = TttdChunker::with_avg(256).unwrap();
+            let spans = chunker.spans(&data);
+            prop_assert_eq!(spans.iter().map(|s| s.len).sum::<usize>(), data.len());
+            let p = chunker.params();
+            for (i, s) in spans.iter().enumerate() {
+                prop_assert!(s.len <= p.max);
+                if i + 1 != spans.len() {
+                    prop_assert!(s.len >= p.min);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Container compaction: reclaiming dead bytes *inside* live containers.
+//!
+//! [`crate::gc`] reclaims whole containers, but after stream retirements a
+//! container often survives because a few of its blocks are still
+//! referenced — the rest is dead weight. Compaction rewrites such
+//! containers:
+//!
+//! 1. compute entry-level liveness (a Manifest entry is live when any
+//!    recipe extent overlaps its byte range);
+//! 2. for containers whose live fraction falls below a threshold, write
+//!    the live entries' bytes (in order) into a fresh container;
+//! 3. re-offset the Manifest's live entries (the MHD tiling invariant
+//!    holds again over the new container) and re-target every recipe
+//!    extent that pointed into the old container;
+//! 4. delete the old container.
+//!
+//! Correctness rests on an alignment property checked in debug builds: a
+//! recipe extent only ever overlaps *live* entries, and those entries are
+//! contiguous in the old container, so the translation is a single offset
+//! shift per extent. DiskChunk immutability is preserved — old containers
+//! are deleted and new ones created, never edited.
+
+use mhd_hash::FxHashMap;
+use mhd_store::{
+    Backend, DiskChunkId, Extent, FileKind, FileManifest, Manifest, ManifestId, StoreResult,
+    Substrate,
+};
+
+/// What one compaction pass did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Containers rewritten.
+    pub containers_compacted: u64,
+    /// Bytes reclaimed (dead bytes dropped from rewritten containers).
+    pub bytes_reclaimed: u64,
+    /// Recipe extents re-targeted.
+    pub extents_rewritten: u64,
+    /// Containers inspected but left alone (healthy occupancy or no
+    /// manifest describes them).
+    pub containers_skipped: u64,
+}
+
+/// Compacts every single-manifest container whose live-byte fraction is
+/// below `threshold` (e.g. `0.7`). Returns what changed.
+///
+/// Only containers described by exactly one Manifest are compacted (MHD,
+/// CDC and Bimodal layouts — one manifest per container; SubChunk and
+/// SparseIndexing manifests span containers and are skipped).
+pub fn compact<B: Backend>(
+    substrate: &mut Substrate<B>,
+    threshold: f64,
+) -> StoreResult<CompactReport> {
+    assert!((0.0..=1.0).contains(&threshold), "threshold is a fraction");
+    let mut report = CompactReport::default();
+
+    // Load all manifests, grouped by the container(s) they describe.
+    let mut manifests: Vec<Manifest> = Vec::new();
+    for name in substrate.backend_mut().list(FileKind::Manifest) {
+        let id = ManifestId(
+            u64::from_str_radix(&name, 16)
+                .map_err(|e| mhd_store::StoreError::Corrupt(format!("manifest name: {e}")))?,
+        );
+        let data = substrate.backend_mut().get(FileKind::Manifest, &name)?;
+        manifests.push(Manifest::decode(id, &data)?);
+    }
+    let mut manifests_per_container: FxHashMap<DiskChunkId, u32> = FxHashMap::default();
+    for m in &manifests {
+        let mut seen = Vec::new();
+        for e in &m.entries {
+            if !seen.contains(&e.container) {
+                seen.push(e.container);
+                *manifests_per_container.entry(e.container).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Recipe extents per container.
+    let recipe_names = substrate.list_file_manifests();
+    let mut recipes: Vec<(String, FileManifest)> = Vec::with_capacity(recipe_names.len());
+    let mut extents_per_container: FxHashMap<DiskChunkId, Vec<(u64, u64)>> = FxHashMap::default();
+    for name in recipe_names {
+        let fm = substrate.load_file_manifest(&name)?;
+        for e in fm.extents() {
+            extents_per_container.entry(e.container).or_default().push((e.offset, e.len));
+        }
+        recipes.push((name, fm));
+    }
+
+    // Per eligible manifest/container pair, decide and compact.
+    for manifest in &mut manifests {
+        let Some(first) = manifest.entries.first() else { continue };
+        let container = first.container;
+        if manifest.entries.iter().any(|e| e.container != container)
+            || manifests_per_container.get(&container).copied().unwrap_or(0) != 1
+        {
+            report.containers_skipped += 1;
+            continue;
+        }
+        let refs = extents_per_container.get(&container);
+
+        // Entry-level liveness.
+        let live: Vec<bool> = manifest
+            .entries
+            .iter()
+            .map(|e| {
+                refs.is_some_and(|ranges| {
+                    ranges.iter().any(|&(off, len)| off < e.end() && off + len > e.offset)
+                })
+            })
+            .collect();
+        let total: u64 = manifest.entries.iter().map(|e| e.size).sum();
+        let live_bytes: u64 = manifest
+            .entries
+            .iter()
+            .zip(&live)
+            .filter(|(_, &l)| l)
+            .map(|(e, _)| e.size)
+            .sum();
+        if total == 0 || live_bytes == 0 || (live_bytes as f64 / total as f64) >= threshold {
+            report.containers_skipped += 1;
+            continue;
+        }
+
+        // Build the new container from live entries, recording the offset
+        // shift for each surviving old range.
+        let mut new_bytes = Vec::with_capacity(live_bytes as usize);
+        // (old_start, old_end, new_start) per live entry.
+        let mut moves: Vec<(u64, u64, u64)> = Vec::new();
+        for (e, &is_live) in manifest.entries.iter().zip(&live) {
+            if is_live {
+                let new_start = new_bytes.len() as u64;
+                let bytes = substrate.read_chunk_range(e.container, e.offset, e.size)?;
+                new_bytes.extend_from_slice(&bytes);
+                moves.push((e.offset, e.end(), new_start));
+            }
+        }
+        let new_id = substrate.write_disk_chunk_bytes(&new_bytes)?;
+
+        // Dead Hook entries lose their content: their on-disk Hook files
+        // (when they point at this manifest) must go too, or they dangle.
+        for (e, &is_live) in manifest.entries.iter().zip(&live) {
+            if !is_live && e.is_hook {
+                let name = e.hash.to_hex();
+                if let Ok(payload) = substrate.backend_mut().get(FileKind::Hook, &name) {
+                    if payload.len() == 20
+                        && u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"))
+                            == manifest.id.0
+                    {
+                        substrate.delete_hook_by_name(&name)?;
+                    }
+                }
+            }
+        }
+
+        // Re-offset the manifest (drop dead entries, shift live ones).
+        let translate = |old_off: u64| -> Option<u64> {
+            moves
+                .iter()
+                .find(|&&(start, end, _)| old_off >= start && old_off < end)
+                .map(|&(start, _, new_start)| new_start + (old_off - start))
+        };
+        let mut new_entries = Vec::with_capacity(moves.len());
+        for (e, &is_live) in manifest.entries.iter().zip(&live) {
+            if is_live {
+                let mut e = *e;
+                e.offset = translate(e.offset).expect("live entry translates");
+                e.container = new_id;
+                new_entries.push(e);
+            }
+        }
+        manifest.entries = new_entries;
+        // Every Manifest needs an entry point: if compaction dropped all
+        // Hook entries, promote the first survivor and persist its Hook.
+        if !manifest.entries.iter().any(|e| e.is_hook) {
+            if let Some(first) = manifest.entries.first_mut() {
+                first.is_hook = true;
+                let (hash, mid) = (first.hash, manifest.id);
+                substrate.write_hook(hash, mid)?;
+            }
+        }
+        debug_assert_eq!(manifest.check_tiling(new_bytes.len() as u64), Ok(()));
+        substrate.update_manifest(manifest)?;
+
+        // Re-target recipes.
+        for (name, fm) in &mut recipes {
+            let mut changed = false;
+            let mut rebuilt = FileManifest::new();
+            for e in fm.extents() {
+                if e.container == container {
+                    let new_off = translate(e.offset).unwrap_or_else(|| {
+                        panic!("recipe {name} extent {e:?} overlaps a dead entry")
+                    });
+                    debug_assert!(
+                        translate(e.offset + e.len - 1)
+                            .is_some_and(|end| end == new_off + e.len - 1),
+                        "extent must stay contiguous across compaction"
+                    );
+                    rebuilt.push(Extent { container: new_id, offset: new_off, len: e.len });
+                    changed = true;
+                    report.extents_rewritten += 1;
+                } else {
+                    rebuilt.push(*e);
+                }
+            }
+            if changed {
+                substrate.update_file_manifest(name, &rebuilt)?;
+                *fm = rebuilt;
+            }
+        }
+
+        substrate.delete_disk_chunk(container)?;
+        report.containers_compacted += 1;
+        report.bytes_reclaimed += total - live_bytes;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gc, Deduplicator, EngineConfig, MhdEngine};
+    use mhd_store::MemBackend;
+    use mhd_workload::{Corpus, CorpusSpec};
+
+    fn dedupped() -> (MhdEngine<MemBackend>, Corpus) {
+        let corpus = Corpus::generate(CorpusSpec::tiny(601));
+        let mut e = MhdEngine::new(MemBackend::new(), EngineConfig::new(512, 8)).unwrap();
+        for s in &corpus.snapshots {
+            e.process_snapshot(s).unwrap();
+        }
+        e.finish().unwrap();
+        (e, corpus)
+    }
+
+    #[test]
+    fn fully_live_store_is_untouched() {
+        let (mut e, _) = dedupped();
+        let report = compact(e.substrate_mut(), 0.7).unwrap();
+        assert_eq!(report.containers_compacted, 0);
+        assert_eq!(report.bytes_reclaimed, 0);
+    }
+
+    #[test]
+    fn compaction_reclaims_and_preserves_restore() {
+        let (mut e, corpus) = dedupped();
+        // Retire the first three days: day-3 recipes still reference
+        // slices of old containers, leaving them partially live.
+        for day in 0..3 {
+            gc::delete_stream(e.substrate_mut(), &format!("m0/d{day}")).unwrap();
+            gc::delete_stream(e.substrate_mut(), &format!("m1/d{day}")).unwrap();
+            gc::delete_stream(e.substrate_mut(), &format!("m2/d{day}")).unwrap();
+        }
+        let before = e.substrate_mut().ledger().stored_data_bytes;
+        let report = compact(e.substrate_mut(), 0.95).unwrap();
+        assert!(report.containers_compacted > 0, "retirement must leave sparse containers");
+        assert!(report.bytes_reclaimed > 0);
+        let after = e.substrate_mut().ledger().stored_data_bytes;
+        assert_eq!(after, before - report.bytes_reclaimed);
+
+        // Remaining day restores byte-exactly and the store stays sound.
+        for snapshot in corpus.snapshots.iter().filter(|s| s.day == 3) {
+            for file in &snapshot.files {
+                let restored =
+                    crate::restore::restore_file(e.substrate_mut(), &file.path).unwrap();
+                assert_eq!(restored, file.data, "{}", file.path);
+            }
+        }
+        let fsck = crate::fsck::check_store(e.substrate_mut());
+        assert!(fsck.is_healthy(), "{:?}", fsck.problems);
+    }
+
+    #[test]
+    fn compaction_is_idempotent() {
+        let (mut e, _) = dedupped();
+        gc::delete_stream(e.substrate_mut(), "m0/d0").unwrap();
+        gc::delete_stream(e.substrate_mut(), "m1/d0").unwrap();
+        compact(e.substrate_mut(), 0.95).unwrap();
+        let second = compact(e.substrate_mut(), 0.95).unwrap();
+        assert_eq!(second.containers_compacted, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn threshold_must_be_fraction() {
+        let (mut e, _) = dedupped();
+        let _ = compact(e.substrate_mut(), 1.5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Additional cross-cutting engine tests: mixed workload shapes, config
+//! edges, and accounting invariants that every engine must satisfy.
+
+use bytes::Bytes;
+use mhd_store::MemBackend;
+use mhd_workload::{FileEntry, Snapshot};
+
+use crate::{
+    BimodalEngine, CdcEngine, DedupReport, Deduplicator, EngineConfig, MhdEngine,
+    SparseIndexEngine, SubChunkEngine,
+};
+
+fn random(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 24) as u8
+        })
+        .collect()
+}
+
+fn snapshot(prefix: &str, datas: Vec<Vec<u8>>) -> Snapshot {
+    Snapshot {
+        machine: 0,
+        day: 0,
+        files: datas
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| FileEntry { path: format!("{prefix}/f{i}"), data: Bytes::from(d) })
+            .collect(),
+    }
+}
+
+fn run_all(snapshots: &[Snapshot], config: EngineConfig) -> Vec<DedupReport> {
+    macro_rules! drive {
+        ($engine:expr) => {{
+            let mut e = $engine.unwrap();
+            for s in snapshots {
+                e.process_snapshot(s).unwrap();
+            }
+            e.finish().unwrap()
+        }};
+    }
+    vec![
+        drive!(MhdEngine::new(MemBackend::new(), config)),
+        drive!(CdcEngine::new(MemBackend::new(), config)),
+        drive!(BimodalEngine::new(MemBackend::new(), config)),
+        drive!(SubChunkEngine::new(MemBackend::new(), config)),
+        drive!(SparseIndexEngine::new(MemBackend::new(), config)),
+    ]
+}
+
+#[test]
+fn all_engines_reject_invalid_config() {
+    let bad = EngineConfig::new(1000, 8); // not a power of two
+    assert!(MhdEngine::new(MemBackend::new(), bad).is_err());
+    assert!(CdcEngine::new(MemBackend::new(), bad).is_err());
+    assert!(BimodalEngine::new(MemBackend::new(), bad).is_err());
+    assert!(SubChunkEngine::new(MemBackend::new(), bad).is_err());
+    assert!(SparseIndexEngine::new(MemBackend::new(), bad).is_err());
+}
+
+#[test]
+fn empty_snapshot_is_a_noop() {
+    let empty = Snapshot { machine: 0, day: 0, files: vec![] };
+    for report in run_all(&[empty], EngineConfig::new(512, 4)) {
+        assert_eq!(report.input_bytes, 0, "{}", report.algorithm);
+        assert_eq!(report.ledger.stored_data_bytes, 0, "{}", report.algorithm);
+        assert_eq!(report.dup_slices, 0, "{}", report.algorithm);
+    }
+}
+
+#[test]
+fn single_byte_files() {
+    let snap = snapshot("tiny", vec![vec![7], vec![7], vec![8]]);
+    for report in run_all(&[snap], EngineConfig::new(512, 4)) {
+        assert_eq!(report.input_bytes, 3, "{}", report.algorithm);
+        assert_eq!(
+            report.ledger.stored_data_bytes + report.dup_bytes,
+            3,
+            "{}",
+            report.algorithm
+        );
+    }
+}
+
+#[test]
+fn low_entropy_runs_do_not_break_accounting() {
+    // Long zero runs hit the max-chunk-size path everywhere and create
+    // massive intra-stream duplication.
+    let zeros = vec![0u8; 96 << 10];
+    let snap = snapshot("zeros", vec![zeros.clone(), zeros]);
+    for report in run_all(&[snap], EngineConfig::new(512, 4)) {
+        assert_eq!(
+            report.ledger.stored_data_bytes + report.dup_bytes,
+            report.input_bytes,
+            "{}",
+            report.algorithm
+        );
+        // At least the second file's worth must dedup.
+        assert!(report.dup_bytes >= 90 << 10, "{}: {}", report.algorithm, report.dup_bytes);
+    }
+}
+
+#[test]
+fn interleaved_dup_and_fresh_regions() {
+    // file = [A][fresh][B][fresh][A] where A and B repeat.
+    let a = random(20 << 10, 1);
+    let b = random(20 << 10, 2);
+    let mut first = Vec::new();
+    first.extend_from_slice(&a);
+    first.extend_from_slice(&b);
+    let mut second = Vec::new();
+    second.extend_from_slice(&a);
+    second.extend_from_slice(&random(8 << 10, 3));
+    second.extend_from_slice(&b);
+    second.extend_from_slice(&random(8 << 10, 4));
+    second.extend_from_slice(&a);
+
+    for report in run_all(
+        &[snapshot("s1", vec![first]), snapshot("s2", vec![second])],
+        EngineConfig::new(512, 4),
+    ) {
+        assert_eq!(
+            report.ledger.stored_data_bytes + report.dup_bytes,
+            report.input_bytes,
+            "{}",
+            report.algorithm
+        );
+        // MHD and CDC must find most of the repeated A/B content.
+        if report.algorithm == "bf-mhd" || report.algorithm == "cdc" {
+            assert!(
+                report.dup_bytes > 48 << 10,
+                "{}: only {} dup",
+                report.algorithm,
+                report.dup_bytes
+            );
+            assert!(report.dup_slices >= 2, "{}", report.algorithm);
+        }
+    }
+}
+
+#[test]
+fn growing_file_day_over_day() {
+    // Append-only growth (log files): every next day is a superset.
+    let mut content = random(32 << 10, 9);
+    let mut snapshots = Vec::new();
+    for day in 0..4 {
+        snapshots.push(Snapshot {
+            machine: 0,
+            day,
+            files: vec![FileEntry {
+                path: format!("log/d{day}"),
+                data: Bytes::from(content.clone()),
+            }],
+        });
+        content.extend_from_slice(&random(8 << 10, 10 + day as u64));
+    }
+    for report in run_all(&snapshots, EngineConfig::new(512, 4)) {
+        // Day d is fully contained in day d+1: most of the input dedups.
+        let unique = (32 << 10) + 3 * (8 << 10);
+        assert!(
+            report.ledger.stored_data_bytes < 2 * unique,
+            "{} stored {} vs unique {unique}",
+            report.algorithm,
+            report.ledger.stored_data_bytes
+        );
+    }
+}
+
+#[test]
+fn mhd_buffer_boundary_sizes() {
+    // Exercise files whose chunk counts land exactly on SD and 2·SD
+    // boundaries (off-by-one hazards in the SHM flush logic).
+    for kib in [1usize, 2, 4, 8, 16, 32] {
+        let snap = snapshot("b", vec![random(kib << 10, kib as u64)]);
+        let mut e = MhdEngine::new(MemBackend::new(), EngineConfig::new(512, 4)).unwrap();
+        e.process_snapshot(&snap).unwrap();
+        let r = e.finish().unwrap();
+        assert_eq!(r.ledger.stored_data_bytes, (kib << 10) as u64, "{kib} KiB");
+        let restored =
+            crate::restore::restore_file(e.substrate_mut(), "b/f0").unwrap();
+        assert_eq!(restored.len(), kib << 10);
+    }
+}
+
+#[test]
+fn duplicate_detection_is_order_sensitive_but_complete() {
+    // Processing streams in the opposite order stores the same total
+    // bytes (who stores is swapped, what is stored is not).
+    let x = random(64 << 10, 21);
+    let y = {
+        let mut y = x.clone();
+        let patch = random(2 << 10, 22);
+        y[30_000..32_048].copy_from_slice(&patch);
+        y
+    };
+    let forward = run_all(
+        &[snapshot("a", vec![x.clone()]), snapshot("b", vec![y.clone()])],
+        EngineConfig::new(512, 4),
+    );
+    let backward = run_all(
+        &[snapshot("a", vec![y]), snapshot("b", vec![x])],
+        EngineConfig::new(512, 4),
+    );
+    for (f, b) in forward.iter().zip(&backward) {
+        let diff = f.ledger.stored_data_bytes.abs_diff(b.ledger.stored_data_bytes);
+        assert!(
+            diff < 8 << 10,
+            "{}: forward stored {} vs backward {}",
+            f.algorithm,
+            f.ledger.stored_data_bytes,
+            b.ledger.stored_data_bytes
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Garbage collection: stream deletion and container reclamation.
+//!
+//! Backup systems retire old streams (retention policies), but containers
+//! are shared — a DiskChunk may hold bytes that dozens of later recipes
+//! still reference. Reclamation is therefore mark-and-sweep over the
+//! recipes:
+//!
+//! 1. **mark** — walk every live FileManifest and collect the set of
+//!    referenced containers;
+//! 2. **sweep** — delete DiskChunks no recipe references, the Manifests
+//!    that describe only dead containers, and the Hooks pointing at
+//!    deleted Manifests.
+//!
+//! DiskChunks are immutable, so reclamation is whole-container: a
+//! container stays alive while any byte of it is referenced (the classic
+//! dedup fragmentation-vs-space trade-off; compaction is out of scope).
+//! The ledger is adjusted so post-GC metrics stay truthful.
+
+use mhd_hash::FxHashSet;
+use mhd_store::{
+    Backend, DiskChunkId, FileKind, Manifest, ManifestId, StoreResult, Substrate,
+};
+
+/// What one collection pass freed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// FileManifests deleted (by [`delete_stream`]).
+    pub recipes_deleted: u64,
+    /// DiskChunks reclaimed.
+    pub containers_deleted: u64,
+    /// Data bytes reclaimed.
+    pub data_bytes_freed: u64,
+    /// Manifests deleted.
+    pub manifests_deleted: u64,
+    /// Hooks deleted.
+    pub hooks_deleted: u64,
+    /// Containers still alive (for occupancy reporting).
+    pub containers_live: u64,
+}
+
+/// Deletes every FileManifest whose name starts with `prefix` (e.g. one
+/// backup label), then runs [`collect`]. Returns the combined report.
+pub fn delete_stream<B: Backend>(
+    substrate: &mut Substrate<B>,
+    prefix: &str,
+) -> StoreResult<GcReport> {
+    let victims: Vec<String> = substrate
+        .list_file_manifests()
+        .into_iter()
+        .filter(|name| name.starts_with(prefix))
+        .collect();
+    let mut deleted = 0u64;
+    for name in victims {
+        substrate.delete_file_manifest(&name)?;
+        deleted += 1;
+    }
+    let mut report = collect(substrate)?;
+    report.recipes_deleted = deleted;
+    Ok(report)
+}
+
+/// Mark-and-sweep reclamation of unreferenced containers and their
+/// metadata.
+pub fn collect<B: Backend>(substrate: &mut Substrate<B>) -> StoreResult<GcReport> {
+    let mut report = GcReport::default();
+
+    // Mark: containers referenced by any live recipe.
+    let mut live: FxHashSet<DiskChunkId> = FxHashSet::default();
+    for name in substrate.list_file_manifests() {
+        let fm = substrate.load_file_manifest(&name)?;
+        for e in fm.extents() {
+            live.insert(e.container);
+        }
+    }
+
+    // Sweep containers.
+    let chunk_names = substrate.backend_mut().list(FileKind::DiskChunk);
+    let mut dead: FxHashSet<DiskChunkId> = FxHashSet::default();
+    for name in chunk_names {
+        let id = DiskChunkId(
+            u64::from_str_radix(&name, 16)
+                .map_err(|e| mhd_store::StoreError::Corrupt(format!("chunk name: {e}")))?,
+        );
+        if live.contains(&id) {
+            report.containers_live += 1;
+        } else {
+            report.data_bytes_freed += substrate.disk_chunk_len(id)?;
+            substrate.delete_disk_chunk(id)?;
+            dead.insert(id);
+            report.containers_deleted += 1;
+        }
+    }
+
+    // Sweep manifests: delete those describing only dead containers, and
+    // prune dead entries from manifests that span both (SubChunk and
+    // SparseIndexing manifests reference many containers).
+    let mut dead_manifests: FxHashSet<ManifestId> = FxHashSet::default();
+    // Hashes whose entries were pruned, per manifest (their hooks dangle).
+    let mut pruned: FxHashSet<(mhd_hash::ChunkHash, ManifestId)> = FxHashSet::default();
+    for name in substrate.backend_mut().list(FileKind::Manifest) {
+        let id = ManifestId(
+            u64::from_str_radix(&name, 16)
+                .map_err(|e| mhd_store::StoreError::Corrupt(format!("manifest name: {e}")))?,
+        );
+        let data = substrate.backend_mut().get(FileKind::Manifest, &name)?;
+        let mut manifest = Manifest::decode(id, &data)?;
+        let dead_count =
+            manifest.entries.iter().filter(|e| dead.contains(&e.container)).count();
+        if dead_count == 0 {
+            continue;
+        }
+        if dead_count == manifest.entries.len() {
+            substrate.delete_manifest(id)?;
+            dead_manifests.insert(id);
+            report.manifests_deleted += 1;
+        } else {
+            for e in manifest.entries.iter().filter(|e| dead.contains(&e.container)) {
+                pruned.insert((e.hash, id));
+            }
+            manifest.entries.retain(|e| !dead.contains(&e.container));
+            // A hash can repeat in segment manifests: keep it referencable
+            // if any surviving entry still carries it.
+            for e in &manifest.entries {
+                pruned.remove(&(e.hash, id));
+            }
+            substrate.update_manifest(&manifest)?;
+        }
+    }
+
+    // Sweep hooks pointing at deleted manifests or pruned entries.
+    for name in substrate.backend_mut().list(FileKind::Hook) {
+        let payload = substrate.backend_mut().get(FileKind::Hook, &name)?;
+        if payload.len() != 20 {
+            continue; // fsck's job, not GC's
+        }
+        let mid = ManifestId(u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")));
+        let hash_hex = name.split('-').next().unwrap_or(&name);
+        let dangling = dead_manifests.contains(&mid)
+            || mhd_hash::ChunkHash::from_hex(hash_hex)
+                .map(|h| pruned.contains(&(h, mid)))
+                .unwrap_or(false);
+        if dangling {
+            substrate.delete_hook_by_name(&name)?;
+            report.hooks_deleted += 1;
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Deduplicator, EngineConfig, MhdEngine};
+    use mhd_store::MemBackend;
+    use mhd_workload::{Corpus, CorpusSpec};
+
+    fn dedupped() -> (MhdEngine<MemBackend>, Corpus) {
+        let corpus = Corpus::generate(CorpusSpec::tiny(501));
+        let mut e = MhdEngine::new(MemBackend::new(), EngineConfig::new(512, 8)).unwrap();
+        for s in &corpus.snapshots {
+            e.process_snapshot(s).unwrap();
+        }
+        e.finish().unwrap();
+        (e, corpus)
+    }
+
+    #[test]
+    fn collect_on_fully_live_store_frees_nothing() {
+        let (mut e, _) = dedupped();
+        let before = *e.substrate_mut().ledger();
+        let report = collect(e.substrate_mut()).unwrap();
+        assert_eq!(report.containers_deleted, 0);
+        assert_eq!(report.manifests_deleted, 0);
+        assert_eq!(report.hooks_deleted, 0);
+        assert!(report.containers_live > 0);
+        assert_eq!(*e.substrate_mut().ledger(), before);
+    }
+
+    #[test]
+    fn deleting_all_streams_reclaims_everything() {
+        let (mut e, _) = dedupped();
+        let report = delete_stream(e.substrate_mut(), "m").unwrap();
+        assert!(report.recipes_deleted > 0);
+        assert!(report.containers_deleted > 0);
+        assert_eq!(report.containers_live, 0);
+        let ledger = e.substrate_mut().ledger();
+        assert_eq!(ledger.stored_data_bytes, 0);
+        assert_eq!(ledger.inodes_disk_chunks, 0);
+        assert_eq!(ledger.inodes_manifests, 0);
+        assert_eq!(ledger.inodes_hooks, 0);
+        assert_eq!(ledger.manifest_bytes, 0);
+        assert_eq!(ledger.hook_bytes, 0);
+    }
+
+    #[test]
+    fn deleting_one_day_keeps_shared_containers() {
+        let (mut e, corpus) = dedupped();
+        let before_data = e.substrate_mut().ledger().stored_data_bytes;
+        // Delete day 0 of every machine: later days reference much of the
+        // same content (their recipes point into day-0 containers), so
+        // most containers must survive.
+        let report = delete_stream(e.substrate_mut(), "m0/d0").unwrap();
+        assert!(report.recipes_deleted > 0);
+        assert!(report.containers_live > 0);
+        assert!(
+            report.data_bytes_freed < before_data / 2,
+            "freed {} of {} despite shared references",
+            report.data_bytes_freed,
+            before_data
+        );
+        // Remaining streams must still restore byte-exactly.
+        for snapshot in &corpus.snapshots {
+            for file in &snapshot.files {
+                if file.path.starts_with("m0/d0") {
+                    continue;
+                }
+                let restored =
+                    crate::restore::restore_file(e.substrate_mut(), &file.path).unwrap();
+                assert_eq!(restored, file.data, "{}", file.path);
+            }
+        }
+        // And the store stays structurally sound.
+        let fsck = crate::fsck::check_store(e.substrate_mut());
+        assert!(fsck.is_healthy(), "{:?}", fsck.problems);
+    }
+
+    #[test]
+    fn gc_is_idempotent() {
+        let (mut e, _) = dedupped();
+        delete_stream(e.substrate_mut(), "m0/d0").unwrap();
+        let second = collect(e.substrate_mut()).unwrap();
+        assert_eq!(second.containers_deleted, 0);
+        assert_eq!(second.manifests_deleted, 0);
+    }
+}

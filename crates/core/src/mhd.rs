@@ -1,0 +1,1077 @@
+//! The Metadata Harnessing Deduplication engine (BF-MHD).
+//!
+//! Implements §III of the paper:
+//!
+//! * **SHM** — non-duplicate chunks are buffered (buffer capacity 2·SD
+//!   chunks; the front SD are flushed when it fills, the rest at file end).
+//!   Each flushed run of up to SD chunks becomes *two* Manifest entries:
+//!   the first chunk's hash is kept as a **Hook** and the remaining ≤ SD−1
+//!   chunks are merged under a single hash — "the first and the last SD−1
+//!   chunks respectively". Only Hook hashes enter the Bloom filter and the
+//!   on-disk Hook store; merged hashes are reachable only through a cached
+//!   Manifest (locality), exactly as in the paper.
+//! * **BME/FME** — on a duplicate hit, the match is extended backward over
+//!   the buffered chunks and forward over the lookahead, first by hash
+//!   comparison, then — when the mismatching Manifest entry is a merged
+//!   block that may straddle the duplicate/non-duplicate edge — by
+//!   reloading the old bytes from the DiskChunk and comparing directly.
+//! * **HHR** — a straddling merged entry is split into at most three new
+//!   entries: the remainder, the **EdgeHash** block (sized like the first
+//!   non-matching incoming chunk, to keep the same slice from re-triggering
+//!   an identical re-chunk), and the duplicate region. The Manifest is
+//!   mutated in cache, marked dirty, and written back on eviction or at
+//!   finish. DiskChunks and Hooks are never modified.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use bytes::Bytes;
+use mhd_bloom::BloomFilter;
+use mhd_cache::ManifestCache;
+use mhd_chunking::RabinChunker;
+use mhd_hash::{sha1, ChunkHash, FxHashMap};
+use mhd_store::{
+    Backend, DiskChunkBuilder, Extent, FileManifest, Manifest, ManifestEntry, ManifestFormat,
+    ManifestId, Substrate,
+};
+use mhd_workload::Snapshot;
+
+use crate::config::{EngineConfig, HhrDupGranularity, HookIndex};
+use crate::engine::{
+    chunk_and_hash, DedupReport, Deduplicator, EngineError, EngineResult, HashedChunk,
+    SliceTracker,
+};
+
+/// The BF-MHD engine (Bloom-filter-based MHD, the variant evaluated in §V).
+pub struct MhdEngine<B: Backend> {
+    config: EngineConfig,
+    chunker: RabinChunker,
+    substrate: Substrate<B>,
+    bloom: BloomFilter,
+    /// SI-MHD only: the in-RAM hook index replacing Bloom filter + on-disk
+    /// Hook files.
+    sparse_hooks: FxHashMap<ChunkHash, ManifestId>,
+    cache: ManifestCache,
+    slice: SliceTracker,
+    input_bytes: u64,
+    files: u64,
+    chunks_stored: u64,
+    hhr_count: u64,
+    dedup_seconds: f64,
+}
+
+/// Result of extending a match through one Manifest entry by byte
+/// comparison.
+struct ByteMatch {
+    /// Whole incoming chunks matched (count).
+    matched_chunks: usize,
+    /// Bytes matched (sum of matched chunk lengths).
+    matched_bytes: u64,
+}
+
+/// How many chunks, taken from the back of `buffer`, cover exactly `size`
+/// bytes — `None` when chunk boundaries do not align with that range.
+fn chunks_covering_suffix(buffer: &VecDeque<HashedChunk>, size: u64) -> Option<usize> {
+    let mut total = 0u64;
+    for (count, chunk) in buffer.iter().rev().enumerate() {
+        total += chunk.len as u64;
+        if total == size {
+            return Some(count + 1);
+        }
+        if total > size {
+            return None;
+        }
+    }
+    None
+}
+
+/// How many leading chunks of `chunks` cover exactly `size` bytes.
+fn chunks_covering_prefix(chunks: &[HashedChunk], size: u64) -> Option<usize> {
+    let mut total = 0u64;
+    for (count, chunk) in chunks.iter().enumerate() {
+        total += chunk.len as u64;
+        if total == size {
+            return Some(count + 1);
+        }
+        if total > size {
+            return None;
+        }
+    }
+    None
+}
+
+impl<B: Backend> MhdEngine<B> {
+    /// Creates an engine over `backend` with the given configuration.
+    pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
+        config.validate().map_err(EngineError::Config)?;
+        let chunker = RabinChunker::with_avg(config.ecs)
+            .map_err(|e| EngineError::Config(e.to_string()))?;
+        Ok(MhdEngine {
+            chunker,
+            substrate: Substrate::new(backend),
+            bloom: BloomFilter::with_bytes(config.bloom_bytes, (config.bloom_bytes * 2) as u64),
+            sparse_hooks: FxHashMap::default(),
+            cache: ManifestCache::new(config.cache_manifests),
+            slice: SliceTracker::default(),
+            input_bytes: 0,
+            files: 0,
+            chunks_stored: 0,
+            hhr_count: 0,
+            dedup_seconds: 0.0,
+            config,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The storage substrate (counters, ledger, restore access).
+    pub fn substrate_mut(&mut self) -> &mut Substrate<B> {
+        &mut self.substrate
+    }
+
+    /// Read access to the substrate.
+    pub fn substrate(&self) -> &Substrate<B> {
+        // Only &self accessors on Substrate are stats()/ledger(), which are
+        // what callers need here.
+        &self.substrate
+    }
+
+    /// Looks up an incoming chunk hash: RAM cache first, then Bloom filter,
+    /// then the on-disk Hook store (loading the Manifest it points to).
+    fn lookup(&mut self, hash: ChunkHash) -> EngineResult<Option<(ManifestId, u32)>> {
+        if let Some(hit) = self.cache.find_hash(&hash) {
+            self.substrate.stats_mut().cache_hits += 1;
+            return Ok(Some(hit));
+        }
+        let mid = match self.config.mhd.hook_index {
+            HookIndex::Bloom => {
+                if !self.bloom.contains(&hash) {
+                    self.substrate.stats_mut().bloom_suppressed += 1;
+                    return Ok(None);
+                }
+                match self.substrate.lookup_hook(hash)? {
+                    Some(mid) => mid,
+                    None => return Ok(None), // Bloom false positive
+                }
+            }
+            HookIndex::SparseIndex => match self.sparse_hooks.get(&hash) {
+                Some(&mid) => mid, // RAM lookup: no disk probe charged
+                None => return Ok(None),
+            },
+        };
+        let manifest = self.substrate.load_manifest(mid)?;
+        let idx = manifest.entries.iter().position(|e| e.hash == hash).map(|i| i as u32);
+        self.insert_into_cache(manifest)?;
+        // Hooks are immutable and HHR never re-chunks Hook entries, so the
+        // hash is always present in the Manifest its Hook points to.
+        debug_assert!(idx.is_some(), "hook points at manifest lacking its hash");
+        Ok(idx.map(|i| (mid, i)))
+    }
+
+    fn insert_into_cache(&mut self, manifest: Manifest) -> EngineResult<()> {
+        if let Some((evicted, dirty)) = self.cache.insert(manifest, false) {
+            if dirty {
+                self.substrate.update_manifest(&evicted)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes one SHM run of up to SD buffered chunks into the builder:
+    /// the first chunk becomes a Hook entry, the remaining chunks one
+    /// merged entry.
+    fn flush_run(
+        &mut self,
+        run: &[HashedChunk],
+        data: &Bytes,
+        builder: &mut DiskChunkBuilder,
+        entries: &mut Vec<ManifestEntry>,
+        fm: &mut FileManifest,
+    ) {
+        debug_assert!(!run.is_empty() && run.len() <= self.config.sd);
+        let container = builder.id();
+        let first = &run[0];
+        let off0 = builder.append(first.slice(data));
+        entries.push(ManifestEntry {
+            hash: first.hash,
+            container,
+            offset: off0,
+            size: first.len as u64,
+            is_hook: true,
+        });
+        if run.len() > 1 {
+            let merged_start = run[1].offset as usize;
+            let merged_end = run[run.len() - 1].end() as usize;
+            let merged = &data[merged_start..merged_end];
+            let off1 = builder.append(merged);
+            entries.push(ManifestEntry {
+                hash: sha1(merged),
+                container,
+                offset: off1,
+                size: merged.len() as u64,
+                is_hook: false,
+            });
+        }
+        self.chunks_stored += run.len() as u64;
+        fm.push(Extent {
+            container,
+            offset: off0,
+            len: (run[run.len() - 1].end() - first.offset),
+        });
+    }
+
+    /// Drains the first `count` chunks of the buffer through SHM.
+    fn flush_front(
+        &mut self,
+        buffer: &mut VecDeque<HashedChunk>,
+        count: usize,
+        data: &Bytes,
+        builder: &mut DiskChunkBuilder,
+        entries: &mut Vec<ManifestEntry>,
+        fm: &mut FileManifest,
+    ) {
+        let mut run = Vec::with_capacity(count.min(self.config.sd));
+        let mut remaining = count;
+        while remaining > 0 {
+            run.clear();
+            while remaining > 0 && run.len() < self.config.sd {
+                run.push(buffer.pop_front().expect("flush_front within buffer length"));
+                remaining -= 1;
+            }
+            self.flush_run(&run, data, builder, entries, fm);
+        }
+    }
+
+    /// Byte-compares the tail of an old merged block against the buffer
+    /// tail, matching whole incoming chunks only (the straddling chunk is
+    /// new data and stays stored intact — the paper's Fig. 6, where Chunk
+    /// N3 is not split).
+    fn match_suffix(
+        old: &[u8],
+        buffer: &VecDeque<HashedChunk>,
+        data: &Bytes,
+    ) -> ByteMatch {
+        let mut matched_chunks = 0usize;
+        let mut matched_bytes = 0u64;
+        for chunk in buffer.iter().rev() {
+            let len = chunk.len as u64;
+            if matched_bytes + len > old.len() as u64 {
+                break;
+            }
+            let old_tail =
+                &old[old.len() - (matched_bytes + len) as usize..old.len() - matched_bytes as usize];
+            if old_tail != chunk.slice(data) {
+                break;
+            }
+            matched_chunks += 1;
+            matched_bytes += len;
+        }
+        ByteMatch { matched_chunks, matched_bytes }
+    }
+
+    /// Byte-compares the head of an old merged block against upcoming
+    /// chunks, matching whole chunks only.
+    fn match_prefix(old: &[u8], chunks: &[HashedChunk], data: &Bytes) -> ByteMatch {
+        let mut matched_chunks = 0usize;
+        let mut matched_bytes = 0u64;
+        for chunk in chunks {
+            let len = chunk.len as u64;
+            if matched_bytes + len > old.len() as u64 {
+                break;
+            }
+            let old_head = &old[matched_bytes as usize..(matched_bytes + len) as usize];
+            if old_head != chunk.slice(data) {
+                break;
+            }
+            matched_chunks += 1;
+            matched_bytes += len;
+        }
+        ByteMatch { matched_chunks, matched_bytes }
+    }
+
+    /// Builds the replacement entries for a straddling merged entry `e`:
+    /// remainder + EdgeHash + duplicate region (backward direction) or
+    /// duplicate region + EdgeHash + remainder (forward direction).
+    ///
+    /// `dup_chunks` are the incoming chunks whose bytes matched (used for
+    /// the per-chunk ablation granularity); `edge_len` is the length of the
+    /// first non-matching incoming chunk (clamped to what remains of `e`).
+    #[allow(clippy::too_many_arguments)]
+    fn hhr_split(
+        &mut self,
+        e: ManifestEntry,
+        old: &[u8],
+        dup_bytes: u64,
+        dup_chunks: &[HashedChunk],
+        edge_len: u64,
+        backward: bool,
+    ) -> Vec<ManifestEntry> {
+        debug_assert!(dup_bytes > 0 && dup_bytes < e.size);
+        let container = e.container;
+        let nondup = e.size - dup_bytes;
+        let edge_len = if self.config.mhd.edge_hash { edge_len.min(nondup) } else { 0 };
+        let rem_len = nondup - edge_len;
+        self.hhr_count += 1;
+
+        let mut parts: Vec<(u64, u64, bool)> = Vec::with_capacity(3); // (rel_off, len, is_dup)
+        if backward {
+            // [remainder][edge][dup] — dup is the tail.
+            if rem_len > 0 {
+                parts.push((0, rem_len, false));
+            }
+            if edge_len > 0 {
+                parts.push((rem_len, edge_len, false));
+            }
+            parts.push((nondup, dup_bytes, true));
+        } else {
+            // [dup][edge][remainder] — dup is the head.
+            parts.push((0, dup_bytes, true));
+            if edge_len > 0 {
+                parts.push((dup_bytes, edge_len, false));
+            }
+            if rem_len > 0 {
+                parts.push((dup_bytes + edge_len, rem_len, false));
+            }
+        }
+
+        let mut out = Vec::with_capacity(parts.len() + dup_chunks.len());
+        for (rel, len, is_dup) in parts {
+            if is_dup && self.config.mhd.hhr_dup == HhrDupGranularity::PerChunk {
+                // One entry per matched incoming chunk; their hashes are
+                // already known.
+                let mut cursor = rel;
+                for c in dup_chunks {
+                    out.push(ManifestEntry {
+                        hash: c.hash,
+                        container,
+                        offset: e.offset + cursor,
+                        size: c.len as u64,
+                        is_hook: false,
+                    });
+                    cursor += c.len as u64;
+                }
+                debug_assert_eq!(cursor, rel + len);
+            } else {
+                out.push(ManifestEntry {
+                    hash: sha1(&old[rel as usize..(rel + len) as usize]),
+                    container,
+                    offset: e.offset + rel,
+                    size: len,
+                    is_hook: false,
+                });
+            }
+        }
+        out
+    }
+
+    /// Backward Match Extension. Consumes matching chunks from the buffer
+    /// tail and returns their extents in reverse file order.
+    fn backward_extend(
+        &mut self,
+        mid: ManifestId,
+        hit_idx: u32,
+        buffer: &mut VecDeque<HashedChunk>,
+        data: &Bytes,
+    ) -> EngineResult<(Vec<Extent>, u64, u64)> {
+        let mut extents_rev: Vec<Extent> = Vec::new();
+        let mut dup_bytes = 0u64;
+        let mut dup_chunks = 0u64;
+        let mut k = hit_idx as i64 - 1;
+
+        while k >= 0 && !buffer.is_empty() {
+            let e = {
+                let cached = self.cache.peek(mid).expect("hit manifest resident");
+                cached.manifest().entries[k as usize]
+            };
+            let tail = *buffer.back().expect("non-empty buffer");
+            if e.hash == tail.hash {
+                buffer.pop_back();
+                extents_rev.push(Extent { container: e.container, offset: e.offset, len: e.size });
+                dup_bytes += e.size;
+                dup_chunks += 1;
+                k -= 1;
+                continue;
+            }
+            // Merged entry: "new hash values are calculated for the
+            // buffered chunk bytes before the HitChunk and compared with
+            // the hash values ... in the Manifest" — hash the trailing
+            // e.size buffered bytes (when they align with whole chunks)
+            // and compare, avoiding any disk I/O for fully-duplicate
+            // merged blocks.
+            if !e.is_hook && e.size > tail.len as u64 {
+                if let Some(count) = chunks_covering_suffix(buffer, e.size) {
+                    let end = tail.end() as usize;
+                    let start = end - e.size as usize;
+                    if sha1(&data[start..end]) == e.hash {
+                        for _ in 0..count {
+                            buffer.pop_back();
+                        }
+                        extents_rev.push(Extent {
+                            container: e.container,
+                            offset: e.offset,
+                            len: e.size,
+                        });
+                        dup_bytes += e.size;
+                        dup_chunks += count as u64;
+                        k -= 1;
+                        continue;
+                    }
+                }
+            }
+            // Mismatch. Only a merged block larger than the incoming chunk
+            // can straddle the duplicate/non-duplicate edge.
+            if e.is_hook || e.size <= tail.len as u64 {
+                break;
+            }
+            let old = self.substrate.read_chunk_range(e.container, e.offset, e.size)?;
+            let m = Self::match_suffix(&old, buffer, data);
+            if m.matched_chunks == 0 {
+                break;
+            }
+            // Record extents and drop the matched chunks; collect them for
+            // the per-chunk granularity option.
+            let mut matched: Vec<HashedChunk> = Vec::with_capacity(m.matched_chunks);
+            let mut cursor = e.size;
+            for _ in 0..m.matched_chunks {
+                let c = buffer.pop_back().expect("matched chunk present");
+                cursor -= c.len as u64;
+                extents_rev.push(Extent {
+                    container: e.container,
+                    offset: e.offset + cursor,
+                    len: c.len as u64,
+                });
+                matched.push(c);
+            }
+            matched.reverse(); // file order
+            dup_bytes += m.matched_bytes;
+            dup_chunks += m.matched_chunks as u64;
+
+            if m.matched_bytes == e.size {
+                // The whole merged block matched: its hash already covers
+                // exactly these bytes; no re-chunk needed; keep walking.
+                k -= 1;
+                continue;
+            }
+            // Straddle: split the entry (HHR).
+            let edge_len = buffer.back().map(|c| c.len as u64).unwrap_or(0);
+            let replacement =
+                self.hhr_split(e, &old, m.matched_bytes, &matched, edge_len, true);
+            let kk = k as usize;
+            self.cache.mutate(mid, |man| {
+                man.entries.splice(kk..kk + 1, replacement);
+            });
+            break;
+        }
+        Ok((extents_rev, dup_bytes, dup_chunks))
+    }
+
+    /// Forward Match Extension. Returns extents (file order), bytes,
+    /// chunks consumed from the lookahead.
+    fn forward_extend(
+        &mut self,
+        mid: ManifestId,
+        hit_idx: u32,
+        chunks: &[HashedChunk],
+        mut i: usize,
+        data: &Bytes,
+    ) -> EngineResult<(Vec<Extent>, u64, usize)> {
+        let mut extents: Vec<Extent> = Vec::new();
+        let mut dup_bytes = 0u64;
+        let start_i = i;
+        let mut k = hit_idx as usize + 1;
+
+        while i < chunks.len() {
+            let e = {
+                let cached = self.cache.peek(mid).expect("hit manifest resident");
+                let entries = &cached.manifest().entries;
+                if k >= entries.len() {
+                    break;
+                }
+                entries[k]
+            };
+            let c = chunks[i];
+            if e.hash == c.hash {
+                extents.push(Extent { container: e.container, offset: e.offset, len: e.size });
+                dup_bytes += e.size;
+                i += 1;
+                k += 1;
+                continue;
+            }
+            // Merged entry: hash the next e.size bytes of lookahead (when
+            // whole chunks cover them exactly) and compare — fully
+            // duplicate merged blocks match without any disk I/O.
+            if !e.is_hook && e.size > c.len as u64 {
+                if let Some(count) = chunks_covering_prefix(&chunks[i..], e.size) {
+                    let start = c.offset as usize;
+                    let end = start + e.size as usize;
+                    if sha1(&data[start..end]) == e.hash {
+                        extents.push(Extent {
+                            container: e.container,
+                            offset: e.offset,
+                            len: e.size,
+                        });
+                        dup_bytes += e.size;
+                        i += count;
+                        k += 1;
+                        continue;
+                    }
+                }
+            }
+            if e.is_hook || e.size <= c.len as u64 {
+                break;
+            }
+            let old = self.substrate.read_chunk_range(e.container, e.offset, e.size)?;
+            let m = Self::match_prefix(&old, &chunks[i..], data);
+            if m.matched_chunks == 0 {
+                break;
+            }
+            let matched: Vec<HashedChunk> = chunks[i..i + m.matched_chunks].to_vec();
+            let mut cursor = 0u64;
+            for c in &matched {
+                extents.push(Extent {
+                    container: e.container,
+                    offset: e.offset + cursor,
+                    len: c.len as u64,
+                });
+                cursor += c.len as u64;
+            }
+            dup_bytes += m.matched_bytes;
+            i += m.matched_chunks;
+
+            if m.matched_bytes == e.size {
+                k += 1;
+                continue;
+            }
+            let edge_len = chunks.get(i).map(|c| c.len as u64).unwrap_or(0);
+            let replacement = self.hhr_split(e, &old, m.matched_bytes, &matched, edge_len, false);
+            self.cache.mutate(mid, |man| {
+                man.entries.splice(k..k + 1, replacement);
+            });
+            break;
+        }
+        Ok((extents, dup_bytes, i - start_i))
+    }
+
+    /// Deduplicates one file.
+    fn process_file(&mut self, path: &str, data: &Bytes) -> EngineResult<()> {
+        self.input_bytes += data.len() as u64;
+        let chunks = chunk_and_hash(&self.chunker, data);
+
+        let mut builder = self.substrate.new_disk_chunk();
+        let mut entries: Vec<ManifestEntry> = Vec::new();
+        let mut fm = FileManifest::new();
+        let mut buffer: VecDeque<HashedChunk> = VecDeque::with_capacity(2 * self.config.sd);
+        // Extents for still-buffered chunks are deferred; this queue holds
+        // dup extents that must follow the next buffer flush in file order.
+        let mut i = 0usize;
+
+        while i < chunks.len() {
+            let c = chunks[i];
+            match self.lookup(c.hash)? {
+                None => {
+                    buffer.push_back(c);
+                    self.slice.on_nondup();
+                    if buffer.len() == 2 * self.config.sd {
+                        // SHM partial flush: the front SD chunks can no
+                        // longer be backward-extended (BME reach is the
+                        // buffer) and go to the DiskChunk.
+                        self.flush_front(
+                            &mut buffer,
+                            self.config.sd,
+                            data,
+                            &mut builder,
+                            &mut entries,
+                            &mut fm,
+                        );
+                    }
+                    i += 1;
+                }
+                Some((mid, hit_idx)) => {
+                    let hit_entry = {
+                        let cached = self.cache.peek(mid).expect("resident");
+                        cached.manifest().entries[hit_idx as usize]
+                    };
+                    debug_assert_eq!(hit_entry.size, c.len as u64, "hash hit with size mismatch");
+
+                    let (bme_extents_rev, bme_bytes, bme_chunks) = if self.config.mhd.backward_extension
+                    {
+                        self.backward_extend(mid, hit_idx, &mut buffer, data)?
+                    } else {
+                        (Vec::new(), 0, 0)
+                    };
+                    // Everything left in the buffer is confirmed
+                    // non-duplicate; it precedes the dup region in file
+                    // order, so flush it first.
+                    let remaining = buffer.len();
+                    if remaining > 0 {
+                        self.flush_front(
+                            &mut buffer,
+                            remaining,
+                            data,
+                            &mut builder,
+                            &mut entries,
+                            &mut fm,
+                        );
+                    }
+                    for ext in bme_extents_rev.into_iter().rev() {
+                        fm.push(ext);
+                    }
+                    fm.push(Extent {
+                        container: hit_entry.container,
+                        offset: hit_entry.offset,
+                        len: hit_entry.size,
+                    });
+
+                    // Recompute the hit position: BME's HHR may have
+                    // changed entry indices before it.
+                    let hit_idx_now = self
+                        .cache
+                        .peek(mid)
+                        .expect("resident")
+                        .find(&c.hash)
+                        .expect("hit hash still present");
+
+                    let (fme_extents, fme_bytes, consumed) = if self.config.mhd.forward_extension {
+                        self.forward_extend(mid, hit_idx_now, &chunks, i + 1, data)?
+                    } else {
+                        (Vec::new(), 0, 0)
+                    };
+                    for ext in fme_extents {
+                        fm.push(ext);
+                    }
+
+                    let slice_bytes = bme_bytes + c.len as u64 + fme_bytes;
+                    let slice_chunks = bme_chunks + 1 + consumed as u64;
+                    self.slice.on_dup(slice_bytes, slice_chunks);
+                    i += 1 + consumed;
+                }
+            }
+        }
+        // Flush the buffer remainder and finalise the file.
+        let remaining = buffer.len();
+        if remaining > 0 {
+            self.flush_front(&mut buffer, remaining, data, &mut builder, &mut entries, &mut fm);
+        }
+        self.slice.reset_run();
+
+        if !builder.is_empty() {
+            let container_len = builder.len();
+            self.substrate.write_disk_chunk(builder)?;
+            let mid = self.substrate.new_manifest_id();
+            let manifest = Manifest { id: mid, format: ManifestFormat::HookFlags, entries };
+            debug_assert_eq!(manifest.check_tiling(container_len), Ok(()));
+            self.substrate.write_manifest(&manifest)?;
+            for e in manifest.entries.iter().filter(|e| e.is_hook) {
+                match self.config.mhd.hook_index {
+                    HookIndex::Bloom => {
+                        self.substrate.write_hook(e.hash, mid)?;
+                        self.bloom.insert(&e.hash);
+                    }
+                    HookIndex::SparseIndex => {
+                        // First mapping wins, like on-disk Hooks.
+                        self.sparse_hooks.entry(e.hash).or_insert(mid);
+                    }
+                }
+            }
+            self.insert_into_cache(manifest)?;
+            self.files += 1;
+        }
+        self.substrate.write_file_manifest(path, &fm)?;
+        debug_assert_eq!(fm.total_len(), data.len() as u64, "file manifest must cover the file");
+        Ok(())
+    }
+}
+
+/// Serialisable snapshot of an [`MhdEngine`]'s session state (everything
+/// except the Manifest cache, which is rebuilt on demand, and the backend
+/// itself). Enables durable, resumable stores — see the `mhd` CLI.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MhdState {
+    /// Substrate bookkeeping.
+    pub substrate: mhd_store::SubstrateState,
+    /// Serialised Bloom filter (BF-MHD).
+    pub bloom: Vec<u8>,
+    /// Sparse hook index (SI-MHD): hex hash → manifest id.
+    pub sparse_hooks: Vec<(String, u64)>,
+    /// Input bytes processed so far.
+    pub input_bytes: u64,
+    /// Duplicate slice tracker totals.
+    pub dup_slices: u64,
+    /// Duplicate bytes found so far.
+    pub dup_bytes: u64,
+    /// Duplicate chunks found so far.
+    pub dup_chunks: u64,
+    /// Files that produced manifests.
+    pub files: u64,
+    /// Stored chunk count.
+    pub chunks_stored: u64,
+    /// HHR operations so far.
+    pub hhr_count: u64,
+    /// Accumulated dedup seconds.
+    pub dedup_seconds: f64,
+}
+
+impl<B: Backend> MhdEngine<B> {
+    /// Exports the resumable session state. Call after
+    /// [`Deduplicator::finish`] (so dirty manifests are flushed).
+    pub fn export_state(&self) -> MhdState {
+        MhdState {
+            substrate: self.substrate.export_state(),
+            bloom: self.bloom.to_bytes(),
+            sparse_hooks: self
+                .sparse_hooks
+                .iter()
+                .map(|(h, m)| (h.to_hex(), m.0))
+                .collect(),
+            input_bytes: self.input_bytes,
+            dup_slices: self.slice.slices,
+            dup_bytes: self.slice.dup_bytes,
+            dup_chunks: self.slice.dup_chunks,
+            files: self.files,
+            chunks_stored: self.chunks_stored,
+            hhr_count: self.hhr_count,
+            dedup_seconds: self.dedup_seconds,
+        }
+    }
+
+    /// Restores a session exported by [`MhdEngine::export_state`]. The
+    /// backend must be the same durable store.
+    pub fn import_state(&mut self, state: MhdState) -> EngineResult<()> {
+        self.substrate.import_state(state.substrate)?;
+        self.bloom = BloomFilter::from_bytes(&state.bloom)
+            .ok_or_else(|| EngineError::Config("corrupt bloom filter state".into()))?;
+        self.sparse_hooks = state
+            .sparse_hooks
+            .into_iter()
+            .map(|(h, m)| {
+                ChunkHash::from_hex(&h)
+                    .map(|hash| (hash, ManifestId(m)))
+                    .map_err(|e| EngineError::Config(format!("corrupt hook state: {e}")))
+            })
+            .collect::<EngineResult<_>>()?;
+        self.input_bytes = state.input_bytes;
+        self.slice.slices = state.dup_slices;
+        self.slice.dup_bytes = state.dup_bytes;
+        self.slice.dup_chunks = state.dup_chunks;
+        self.files = state.files;
+        self.chunks_stored = state.chunks_stored;
+        self.hhr_count = state.hhr_count;
+        self.dedup_seconds = state.dedup_seconds;
+        Ok(())
+    }
+}
+
+impl<B: Backend> Deduplicator for MhdEngine<B> {
+    fn name(&self) -> &'static str {
+        match self.config.mhd.hook_index {
+            HookIndex::Bloom => "bf-mhd",
+            HookIndex::SparseIndex => "si-mhd",
+        }
+    }
+
+    fn process_snapshot(&mut self, snapshot: &Snapshot) -> EngineResult<()> {
+        let start = Instant::now();
+        for file in &snapshot.files {
+            self.process_file(&file.path, &file.data)?;
+        }
+        self.dedup_seconds += start.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn finish(&mut self) -> EngineResult<DedupReport> {
+        let start = Instant::now();
+        for (manifest, dirty) in self.cache.drain() {
+            if dirty {
+                self.substrate.update_manifest(&manifest)?;
+            }
+        }
+        self.dedup_seconds += start.elapsed().as_secs_f64();
+        Ok(DedupReport {
+            algorithm: self.name().to_string(),
+            input_bytes: self.input_bytes,
+            dup_bytes: self.slice.dup_bytes,
+            dup_slices: self.slice.slices,
+            files: self.files,
+            chunks_stored: self.chunks_stored,
+            chunks_dup: self.slice.dup_chunks,
+            hhr_count: self.hhr_count,
+            stats: *self.substrate.stats(),
+            ledger: *self.substrate.ledger(),
+            ram_index_bytes: match self.config.mhd.hook_index {
+                HookIndex::Bloom => self.bloom.ram_bytes() as u64,
+                // 20-byte hash + 8-byte manifest pointer per entry.
+                HookIndex::SparseIndex => 28 * self.sparse_hooks.len() as u64,
+            },
+            dedup_seconds: self.dedup_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhd_store::MemBackend;
+
+    fn engine(ecs: usize, sd: usize) -> MhdEngine<MemBackend> {
+        MhdEngine::new(MemBackend::new(), EngineConfig::new(ecs, sd)).unwrap()
+    }
+
+    fn snapshot_from(path_prefix: &str, datas: Vec<Vec<u8>>) -> Snapshot {
+        Snapshot {
+            machine: 0,
+            day: 0,
+            files: datas
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| mhd_workload::FileEntry {
+                    path: format!("{path_prefix}/f{i}"),
+                    data: Bytes::from(d),
+                })
+                .collect(),
+        }
+    }
+
+    fn random(len: usize, seed: u64) -> Vec<u8> {
+        // Small xorshift so tests need no rand dependency wiring here.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunks_covering_suffix_alignment() {
+        let mk = |lens: &[u32]| -> VecDeque<HashedChunk> {
+            let mut off = 0u64;
+            lens.iter()
+                .map(|&len| {
+                    let c = HashedChunk { offset: off, len, hash: sha1(&off.to_le_bytes()) };
+                    off += len as u64;
+                    c
+                })
+                .collect()
+        };
+        let buf = mk(&[100, 200, 300]);
+        // Exact suffix coverings.
+        assert_eq!(chunks_covering_suffix(&buf, 300), Some(1));
+        assert_eq!(chunks_covering_suffix(&buf, 500), Some(2));
+        assert_eq!(chunks_covering_suffix(&buf, 600), Some(3));
+        // Misaligned or oversized.
+        assert_eq!(chunks_covering_suffix(&buf, 250), None);
+        assert_eq!(chunks_covering_suffix(&buf, 601), None);
+        assert_eq!(chunks_covering_suffix(&mk(&[]), 1), None);
+    }
+
+    #[test]
+    fn chunks_covering_prefix_alignment() {
+        let mut off = 0u64;
+        let chunks: Vec<HashedChunk> = [100u32, 200, 300]
+            .iter()
+            .map(|&len| {
+                let c = HashedChunk { offset: off, len, hash: sha1(&off.to_le_bytes()) };
+                off += len as u64;
+                c
+            })
+            .collect();
+        assert_eq!(chunks_covering_prefix(&chunks, 100), Some(1));
+        assert_eq!(chunks_covering_prefix(&chunks, 300), Some(2));
+        assert_eq!(chunks_covering_prefix(&chunks, 600), Some(3));
+        assert_eq!(chunks_covering_prefix(&chunks, 150), None);
+        assert_eq!(chunks_covering_prefix(&[], 1), None);
+    }
+
+    #[test]
+    fn hhr_split_covers_entry_exactly() {
+        // Whatever the direction/options, the split must tile the old
+        // entry's byte range with no gaps or overlap.
+        let mut e = engine(512, 8);
+        let old = random(4096, 40);
+        let entry = ManifestEntry {
+            hash: sha1(&old),
+            container: mhd_store::DiskChunkId(7),
+            offset: 1000,
+            size: 4096,
+            is_hook: false,
+        };
+        let dup_chunks = [HashedChunk { offset: 0, len: 1024, hash: sha1(&old[3072..]) }];
+        for backward in [true, false] {
+            for edge_len in [0u64, 512, 10_000 /* clamped */] {
+                let parts = e.hhr_split(entry, &old, 1024, &dup_chunks, edge_len, backward);
+                assert!(parts.len() >= 2 && parts.len() <= 3, "{backward} {edge_len}");
+                let mut cursor = entry.offset;
+                for p in &parts {
+                    assert_eq!(p.offset, cursor, "contiguous");
+                    assert_eq!(p.container, entry.container);
+                    assert!(!p.is_hook, "HHR never creates hooks");
+                    cursor += p.size;
+                }
+                assert_eq!(cursor, entry.end(), "exact cover");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_second_file_is_fully_dup() {
+        let mut e = engine(512, 8);
+        let content = random(64 << 10, 1);
+        e.process_snapshot(&snapshot_from("a", vec![content.clone()])).unwrap();
+        e.process_snapshot(&snapshot_from("b", vec![content])).unwrap();
+        let r = e.finish().unwrap();
+        assert_eq!(r.input_bytes, 2 * (64 << 10));
+        // Second file eliminated entirely: stored bytes equal one copy.
+        assert_eq!(r.ledger.stored_data_bytes, 64 << 10);
+        assert!(r.dup_bytes >= (64 << 10) - 4096, "dup bytes {}", r.dup_bytes);
+        // Only the first file produced a DiskChunk + Manifest.
+        assert_eq!(r.files, 1);
+        assert_eq!(r.stats.chunk_output, 1);
+    }
+
+    #[test]
+    fn mutation_in_middle_triggers_hhr() {
+        let mut e = engine(512, 8);
+        let original = random(64 << 10, 2);
+        let mut edited = original.clone();
+        // Overwrite 1 KiB in the middle.
+        let patch = random(1024, 3);
+        edited[30_000..31_024].copy_from_slice(&patch);
+
+        e.process_snapshot(&snapshot_from("a", vec![original])).unwrap();
+        e.process_snapshot(&snapshot_from("b", vec![edited])).unwrap();
+        let r = e.finish().unwrap();
+        // Must have found duplicates on both sides of the edit...
+        assert!(r.dup_bytes > 48 << 10, "dup {}", r.dup_bytes);
+        // ...via hysteresis re-chunking with byte reloads.
+        assert!(r.hhr_count >= 1, "expected HHR, got {}", r.hhr_count);
+        assert!(r.stats.chunk_input >= 1);
+        // Manifest grew: updates happened at write-back.
+        assert!(r.stats.manifest_output >= r.files);
+    }
+
+    #[test]
+    fn hhr_bounded_by_2l(){
+        let mut e = engine(512, 8);
+        let base = random(128 << 10, 4);
+        let mut day2 = base.clone();
+        for site in [20_000usize, 60_000, 100_000] {
+            let patch = random(600, site as u64);
+            day2[site..site + 600].copy_from_slice(&patch);
+        }
+        e.process_snapshot(&snapshot_from("a", vec![base])).unwrap();
+        e.process_snapshot(&snapshot_from("b", vec![day2])).unwrap();
+        let r = e.finish().unwrap();
+        // Paper bound: chunk reloads ≤ 2L.
+        assert!(
+            r.stats.chunk_input <= 2 * r.dup_slices,
+            "reloads {} > 2L = {}",
+            r.stats.chunk_input,
+            2 * r.dup_slices
+        );
+    }
+
+    #[test]
+    fn manifest_entry_count_is_harnessed() {
+        // SHM: a file of n chunks yields ~2·n/SD entries, not n.
+        let sd = 8;
+        let mut e = engine(512, sd);
+        let content = random(256 << 10, 5); // ~512 chunks at ECS 512
+        e.process_snapshot(&snapshot_from("a", vec![content])).unwrap();
+        let r = e.finish().unwrap();
+        let n = r.chunks_stored;
+        // Entries ≈ 2·N/SD; allow slack for per-file rounding.
+        let max_entries = 2 * n / sd as u64 + 4 * r.files;
+        let measured_entries = (r.ledger.manifest_bytes.saturating_sub(13 * r.files)) / 37;
+        assert!(
+            measured_entries <= max_entries,
+            "entries {measured_entries} exceed SHM bound {max_entries} (N={n})"
+        );
+    }
+
+    #[test]
+    fn hooks_are_sampled_not_per_chunk() {
+        let sd = 8;
+        let mut e = engine(512, sd);
+        let content = random(128 << 10, 6);
+        e.process_snapshot(&snapshot_from("a", vec![content])).unwrap();
+        let r = e.finish().unwrap();
+        assert!(r.ledger.inodes_hooks <= r.chunks_stored / sd as u64 + 2 * r.files);
+        assert!(r.ledger.inodes_hooks >= r.files, "at least one hook per manifest");
+    }
+
+    #[test]
+    fn empty_and_tiny_files() {
+        let mut e = engine(512, 4);
+        e.process_snapshot(&snapshot_from("a", vec![vec![], vec![1, 2, 3], random(100, 7)]))
+            .unwrap();
+        let r = e.finish().unwrap();
+        assert_eq!(r.input_bytes, 103);
+        // Empty file still gets a (zero-extent) FileManifest.
+        assert_eq!(r.ledger.inodes_file_manifests, 3);
+    }
+
+    #[test]
+    fn buffer_overflow_flushes_partially() {
+        // More than 2·SD chunks in one file forces mid-file SHM flushes.
+        let sd = 4;
+        let mut e = engine(512, sd);
+        let content = random(64 << 10, 8); // ~128 chunks >> 2·SD = 8
+        e.process_snapshot(&snapshot_from("a", vec![content])).unwrap();
+        let r = e.finish().unwrap();
+        assert_eq!(r.files, 1);
+        assert_eq!(r.stats.chunk_output, 1, "still one DiskChunk per file");
+        assert!(r.ledger.inodes_hooks > 2, "multiple SHM runs → multiple hooks");
+    }
+
+    #[test]
+    fn si_mhd_uses_ram_not_hook_inodes() {
+        let content = random(96 << 10, 20);
+        let run = |index: crate::HookIndex| {
+            let mut cfg = EngineConfig::new(512, 8);
+            cfg.mhd.hook_index = index;
+            let mut e = MhdEngine::new(MemBackend::new(), cfg).unwrap();
+            e.process_snapshot(&snapshot_from("a", vec![content.clone()])).unwrap();
+            e.process_snapshot(&snapshot_from("b", vec![content.clone()])).unwrap();
+            e.finish().unwrap()
+        };
+        let bf = run(crate::HookIndex::Bloom);
+        let si = run(crate::HookIndex::SparseIndex);
+        // Same dedup outcome...
+        assert_eq!(bf.dup_bytes, si.dup_bytes);
+        assert_eq!(bf.ledger.stored_data_bytes, si.ledger.stored_data_bytes);
+        // ...but SI keeps hooks in RAM: no hook inodes, no disk probes.
+        assert!(bf.ledger.inodes_hooks > 0);
+        assert_eq!(si.ledger.inodes_hooks, 0);
+        assert_eq!(si.stats.hook_input, 0);
+        assert!(si.ram_index_bytes > 0);
+        assert_eq!(si.algorithm, "si-mhd");
+        assert_eq!(bf.algorithm, "bf-mhd");
+    }
+
+    #[test]
+    fn forward_only_ablation_finds_less() {
+        let base = random(96 << 10, 9);
+        let mut day2 = base.clone();
+        let patch = random(700, 10);
+        day2[40_000..40_700].copy_from_slice(&patch);
+
+        let run = |opts: crate::MhdOptions| {
+            let mut cfg = EngineConfig::new(512, 8);
+            cfg.mhd = opts;
+            let mut e = MhdEngine::new(MemBackend::new(), cfg).unwrap();
+            e.process_snapshot(&snapshot_from("a", vec![base.clone()])).unwrap();
+            e.process_snapshot(&snapshot_from("b", vec![day2.clone()])).unwrap();
+            e.finish().unwrap()
+        };
+        let full = run(crate::MhdOptions::default());
+        let fwd_only =
+            run(crate::MhdOptions { backward_extension: false, ..Default::default() });
+        assert!(full.dup_bytes >= fwd_only.dup_bytes);
+    }
+}

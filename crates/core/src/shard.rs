@@ -1,0 +1,214 @@
+//! Sharded parallel deduplication.
+//!
+//! The paper motivates MHD with "distributed systems related applications
+//! such as large scale data backup" (§I): at fleet scale one dedup node
+//! cannot absorb every stream, so backup systems shard. This module
+//! provides the standard machine-affinity sharding: each machine's streams
+//! always route to the same shard (an independent [`MhdEngine`] with its
+//! own substrate), so day-over-day duplication — the dominant component —
+//! stays within a shard, while shards run on parallel threads.
+//!
+//! Cross-shard duplication (the OS base images shared by machines that
+//! landed on different shards) is deliberately forfeited; that is the real
+//! trade-off sharded dedup makes, and
+//! `tests/sharding.rs::sharding_costs_cross_machine_dup` quantifies it.
+
+use mhd_store::{Backend, MemBackend};
+use mhd_workload::Snapshot;
+
+use crate::config::EngineConfig;
+use crate::engine::{DedupReport, Deduplicator, EngineError, EngineResult};
+use crate::mhd::MhdEngine;
+
+/// A fleet of independent MHD shards with machine-affinity routing.
+pub struct ShardedMhd<B: Backend> {
+    shards: Vec<MhdEngine<B>>,
+}
+
+impl ShardedMhd<MemBackend> {
+    /// Creates `shards` in-memory engines sharing one configuration.
+    pub fn new_in_memory(shards: usize, config: EngineConfig) -> EngineResult<Self> {
+        if shards == 0 {
+            return Err(EngineError::Config("need at least one shard".into()));
+        }
+        let shards = (0..shards)
+            .map(|_| MhdEngine::new(MemBackend::new(), config))
+            .collect::<EngineResult<Vec<_>>>()?;
+        Ok(ShardedMhd { shards })
+    }
+}
+
+impl<B: Backend + Send> ShardedMhd<B> {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a machine routes to.
+    pub fn route(&self, machine: usize) -> usize {
+        machine % self.shards.len()
+    }
+
+    /// Deduplicates a batch of streams, fanning the shards out over scoped
+    /// threads. Streams for one shard are processed in the order given
+    /// (dedup is order-sensitive; the batch is typically one backup day).
+    pub fn process_batch(&mut self, snapshots: &[Snapshot]) -> EngineResult<()> {
+        let n = self.shards.len();
+        // Partition indices by shard, preserving order.
+        let mut work: Vec<Vec<&Snapshot>> = (0..n).map(|_| Vec::new()).collect();
+        for s in snapshots {
+            work[s.machine % n].push(s);
+        }
+        let results: Vec<EngineResult<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(work)
+                .map(|(shard, streams)| {
+                    scope.spawn(move || {
+                        for s in streams {
+                            shard.process_snapshot(s)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(EngineError::Config("shard thread panicked".into()))
+                    })
+                })
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Finishes every shard and returns the merged fleet report plus the
+    /// per-shard reports.
+    pub fn finish(&mut self) -> EngineResult<(DedupReport, Vec<DedupReport>)> {
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            reports.push(shard.finish()?);
+        }
+        let mut merged = reports[0].clone();
+        merged.algorithm = format!("bf-mhd x{}", reports.len());
+        for r in &reports[1..] {
+            merged.input_bytes += r.input_bytes;
+            merged.dup_bytes += r.dup_bytes;
+            merged.dup_slices += r.dup_slices;
+            merged.files += r.files;
+            merged.chunks_stored += r.chunks_stored;
+            merged.chunks_dup += r.chunks_dup;
+            merged.hhr_count += r.hhr_count;
+            merged.stats = merged.stats.merge(&r.stats);
+            merged.ledger.inodes_disk_chunks += r.ledger.inodes_disk_chunks;
+            merged.ledger.inodes_hooks += r.ledger.inodes_hooks;
+            merged.ledger.inodes_manifests += r.ledger.inodes_manifests;
+            merged.ledger.inodes_file_manifests += r.ledger.inodes_file_manifests;
+            merged.ledger.hook_bytes += r.ledger.hook_bytes;
+            merged.ledger.manifest_bytes += r.ledger.manifest_bytes;
+            merged.ledger.file_manifest_bytes += r.ledger.file_manifest_bytes;
+            merged.ledger.stored_data_bytes += r.ledger.stored_data_bytes;
+            merged.ram_index_bytes += r.ram_index_bytes;
+            // Shards run concurrently: fleet wall-clock is the slowest
+            // shard, not the sum.
+            merged.dedup_seconds = merged.dedup_seconds.max(r.dedup_seconds);
+        }
+        Ok((merged, reports))
+    }
+
+    /// Access to one shard's engine (restore, fsck).
+    pub fn shard_mut(&mut self, idx: usize) -> &mut MhdEngine<B> {
+        &mut self.shards[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhd_workload::{Corpus, CorpusSpec};
+
+    #[test]
+    fn sharded_processes_everything_and_restores() {
+        let corpus = Corpus::generate(CorpusSpec::tiny(301));
+        let mut fleet = ShardedMhd::new_in_memory(3, EngineConfig::new(512, 8)).unwrap();
+        let machines = corpus.spec().machines;
+        for day in corpus.snapshots.chunks(machines) {
+            fleet.process_batch(day).unwrap();
+        }
+        let (merged, per_shard) = fleet.finish().unwrap();
+        assert_eq!(merged.input_bytes, corpus.total_bytes());
+        assert_eq!(per_shard.len(), 3);
+        assert_eq!(
+            merged.ledger.stored_data_bytes + merged.dup_bytes,
+            merged.input_bytes
+        );
+
+        // Every file restores from its machine's shard.
+        for snapshot in &corpus.snapshots {
+            let shard = fleet.route(snapshot.machine);
+            for file in &snapshot.files {
+                let restored = crate::restore::restore_file(
+                    fleet.shard_mut(shard).substrate_mut(),
+                    &file.path,
+                )
+                .unwrap();
+                assert_eq!(restored, file.data, "{}", file.path);
+            }
+        }
+    }
+
+    #[test]
+    fn machine_affinity_preserves_temporal_dedup() {
+        // With affinity routing, day-over-day dedup must be close to the
+        // single-engine result.
+        let corpus = Corpus::generate(CorpusSpec::tiny(302));
+        let machines = corpus.spec().machines;
+
+        let mut single = MhdEngine::new(MemBackend::new(), EngineConfig::new(512, 8)).unwrap();
+        for s in &corpus.snapshots {
+            single.process_snapshot(s).unwrap();
+        }
+        let single_report = single.finish().unwrap();
+
+        let mut fleet = ShardedMhd::new_in_memory(3, EngineConfig::new(512, 8)).unwrap();
+        for day in corpus.snapshots.chunks(machines) {
+            fleet.process_batch(day).unwrap();
+        }
+        let (merged, _) = fleet.finish().unwrap();
+
+        // The fleet loses only the cross-machine (base image) dedup that
+        // crosses shard boundaries.
+        assert!(merged.dup_bytes >= single_report.dup_bytes / 2);
+        assert!(merged.dup_bytes <= single_report.dup_bytes);
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ShardedMhd::new_in_memory(0, EngineConfig::new(512, 8)).is_err());
+    }
+
+    #[test]
+    fn single_shard_equals_plain_engine() {
+        let corpus = Corpus::generate(CorpusSpec::tiny(303));
+        let machines = corpus.spec().machines;
+        let mut single = MhdEngine::new(MemBackend::new(), EngineConfig::new(512, 8)).unwrap();
+        for s in &corpus.snapshots {
+            single.process_snapshot(s).unwrap();
+        }
+        let expect = single.finish().unwrap();
+
+        let mut fleet = ShardedMhd::new_in_memory(1, EngineConfig::new(512, 8)).unwrap();
+        for day in corpus.snapshots.chunks(machines) {
+            fleet.process_batch(day).unwrap();
+        }
+        let (merged, _) = fleet.finish().unwrap();
+        assert_eq!(merged.ledger, expect.ledger);
+        assert_eq!(merged.dup_bytes, expect.dup_bytes);
+    }
+}

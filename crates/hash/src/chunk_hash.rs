@@ -1,0 +1,217 @@
+//! The universal 160-bit content identifier.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Length in bytes of a [`ChunkHash`] (SHA-1 digest size).
+pub const HASH_LEN: usize = 20;
+
+/// A 160-bit SHA-1 digest identifying a chunk, DiskChunk, Manifest, or Hook.
+///
+/// Every piece of metadata in the paper's system is keyed by one of these:
+/// Manifest entries carry one per data block, Hooks *are* sampled hash
+/// values, and DiskChunk/Manifest files are hash-addressable. The type is
+/// `Copy` (20 bytes), ordered (so it can key B-tree-style structures and be
+/// sorted deterministically in reports), and hashes cheaply into the
+/// in-memory indexes by reusing its own leading bytes (the digest is already
+/// uniformly distributed).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChunkHash([u8; HASH_LEN]);
+
+impl ChunkHash {
+    /// The all-zero digest; used as a sentinel/placeholder, never produced
+    /// by SHA-1 in practice.
+    pub const ZERO: ChunkHash = ChunkHash([0u8; HASH_LEN]);
+
+    /// Wraps raw digest bytes.
+    pub const fn from_bytes(bytes: [u8; HASH_LEN]) -> Self {
+        ChunkHash(bytes)
+    }
+
+    /// Returns the raw digest bytes.
+    pub const fn as_bytes(&self) -> &[u8; HASH_LEN] {
+        &self.0
+    }
+
+    /// Lowercase hex rendering (40 characters).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(HASH_LEN * 2);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+            s.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble"));
+        }
+        s
+    }
+
+    /// Parses a 40-character hex string.
+    pub fn from_hex(s: &str) -> Result<Self, ParseHashError> {
+        if s.len() != HASH_LEN * 2 {
+            return Err(ParseHashError::BadLength(s.len()));
+        }
+        let mut out = [0u8; HASH_LEN];
+        for (i, byte) in out.iter_mut().enumerate() {
+            let hi = hex_val(s.as_bytes()[i * 2])?;
+            let lo = hex_val(s.as_bytes()[i * 2 + 1])?;
+            *byte = (hi << 4) | lo;
+        }
+        Ok(ChunkHash(out))
+    }
+
+    /// First 8 bytes of the digest as a little-endian `u64`.
+    ///
+    /// SHA-1 output is uniform, so this prefix is itself a high-quality
+    /// 64-bit hash; the Bloom filter and sparse-index sampling both key off
+    /// it rather than re-hashing 20 bytes.
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("8-byte prefix"))
+    }
+
+    /// Second 8 bytes as a `u64`; independent of [`Self::prefix_u64`] for
+    /// double-hashing schemes.
+    pub fn second_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[8..16].try_into().expect("8-byte slice"))
+    }
+
+    /// Short human-readable form (first 4 bytes in hex) for logs and tables.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+}
+
+fn hex_val(c: u8) -> Result<u8, ParseHashError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        other => Err(ParseHashError::BadDigit(other as char)),
+    }
+}
+
+/// Error parsing a [`ChunkHash`] from hex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseHashError {
+    /// Input was not exactly 40 characters.
+    BadLength(usize),
+    /// Input contained a non-hex character.
+    BadDigit(char),
+}
+
+impl fmt::Display for ParseHashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHashError::BadLength(n) => write!(f, "expected 40 hex chars, got {n}"),
+            ParseHashError::BadDigit(c) => write!(f, "invalid hex digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseHashError {}
+
+impl FromStr for ChunkHash {
+    type Err = ParseHashError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ChunkHash::from_hex(s)
+    }
+}
+
+impl fmt::Debug for ChunkHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChunkHash({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for ChunkHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+// The digest is already uniform: feed the prefix straight to the hasher
+// instead of hashing all 20 bytes through the generic path.
+impl Hash for ChunkHash {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.prefix_u64());
+    }
+}
+
+impl Serialize for ChunkHash {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_hex())
+    }
+}
+
+impl<'de> Deserialize<'de> for ChunkHash {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        ChunkHash::from_hex(&s).map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let h = sha1(b"round trip");
+        assert_eq!(ChunkHash::from_hex(&h.to_hex()).unwrap(), h);
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert_eq!(ChunkHash::from_hex("abc"), Err(ParseHashError::BadLength(3)));
+        let bad = "zz".repeat(20);
+        assert!(matches!(ChunkHash::from_hex(&bad), Err(ParseHashError::BadDigit('z'))));
+    }
+
+    #[test]
+    fn ordering_is_bytewise() {
+        let a = ChunkHash::from_bytes([0u8; 20]);
+        let mut b_bytes = [0u8; 20];
+        b_bytes[19] = 1;
+        let b = ChunkHash::from_bytes(b_bytes);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn prefix_words_differ() {
+        let h = sha1(b"prefix words");
+        assert_ne!(h.prefix_u64(), h.second_u64());
+    }
+
+    #[test]
+    fn short_form_is_prefix_of_hex() {
+        let h = sha1(b"short");
+        assert!(h.to_hex().starts_with(&h.short()));
+        assert_eq!(h.short().len(), 8);
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let h = sha1(b"serde");
+        let json = serde_json::to_string(&h).unwrap();
+        assert_eq!(json, format!("\"{}\"", h.to_hex()));
+        let back: ChunkHash = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hex_round_trip(bytes in prop::array::uniform20(any::<u8>())) {
+            let h = ChunkHash::from_bytes(bytes);
+            prop_assert_eq!(ChunkHash::from_hex(&h.to_hex()).unwrap(), h);
+        }
+
+        #[test]
+        fn prop_display_matches_hex(bytes in prop::array::uniform20(any::<u8>())) {
+            let h = ChunkHash::from_bytes(bytes);
+            prop_assert_eq!(format!("{h}"), h.to_hex());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! A fast, non-cryptographic hasher for the hot in-memory index structures.
+//!
+//! The deduplication engines do millions of `HashMap` probes keyed by
+//! [`ChunkHash`](crate::ChunkHash) prefixes and small integers. SipHash's
+//! DoS hardening is pure overhead there (the keys are SHA-1 output or
+//! internal counters), so we use the FxHash multiply-xor construction made
+//! popular by rustc. Implemented locally to stay within the offline crate
+//! set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FxHash state.
+///
+/// For each input word the state is rotated, xored with the word, and
+/// multiplied by a large odd constant ("wymum-like" mix). Quality is far
+/// below SipHash but plenty for uniform keys, and it compiles to a handful
+/// of instructions.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher64 {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(tail) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// Drop-in `HashMap` replacement using [`FxHasher64`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement using [`FxHasher64`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn chunk_hash_keys_do_not_collide_pathologically() {
+        // 10k distinct SHA-1 digests must all land as distinct keys.
+        let mut set: FxHashSet<crate::ChunkHash> = FxHashSet::default();
+        for i in 0u32..10_000 {
+            set.insert(sha1(&i.to_le_bytes()));
+        }
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn hasher_distinguishes_lengths() {
+        // `write` padding must not equate [0,0] with [0,0,0].
+        let mut a = FxHasher64::default();
+        a.write(&[0, 0]);
+        let mut b = FxHasher64::default();
+        b.write(&[0, 0, 0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher64::default();
+        let mut b = FxHasher64::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,73 @@
+//! A `Read` adapter that digests everything flowing through it.
+
+use std::io::Read;
+
+use crate::{ChunkHash, Sha1};
+
+/// Wraps any [`Read`] and computes the SHA-1 of all bytes read through it.
+///
+/// Used by the storage substrate to compute DiskChunk content addresses
+/// while streaming data to the backend, without a second pass.
+pub struct HashReader<R> {
+    inner: R,
+    hasher: Sha1,
+}
+
+impl<R: Read> HashReader<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        HashReader { inner, hasher: Sha1::new() }
+    }
+
+    /// Bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.hasher.message_len()
+    }
+
+    /// Consumes the adapter, returning the digest of everything read and the
+    /// inner reader.
+    pub fn finalize(self) -> (ChunkHash, R) {
+        (self.hasher.finalize(), self.inner)
+    }
+}
+
+impl<R: Read> Read for HashReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hasher.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1;
+    use std::io::Read;
+
+    #[test]
+    fn digest_matches_oneshot() {
+        let data = vec![7u8; 10_000];
+        let mut r = HashReader::new(&data[..]);
+        let mut sink = Vec::new();
+        r.read_to_end(&mut sink).unwrap();
+        assert_eq!(sink, data);
+        assert_eq!(r.bytes_read(), 10_000);
+        let (digest, _) = r.finalize();
+        assert_eq!(digest, sha1(&data));
+    }
+
+    #[test]
+    fn partial_reads_accumulate() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut r = HashReader::new(&data[..]);
+        let mut buf = [0u8; 7];
+        loop {
+            if r.read(&mut buf).unwrap() == 0 {
+                break;
+            }
+        }
+        let (digest, _) = r.finalize();
+        assert_eq!(digest, sha1(&data));
+    }
+}

@@ -1,0 +1,270 @@
+//! A from-scratch implementation of the SHA-1 message digest (FIPS 180-1).
+//!
+//! The offline crate set available to this workspace has no SHA
+//! implementation, and the paper's whole metadata format is built around
+//! 20-byte SHA-1 values, so we implement the algorithm directly. The
+//! implementation is the standard 80-round compression function with the
+//! message schedule computed in-place over a 16-word ring, which keeps the
+//! working set inside one cache line pair and is comfortably fast enough for
+//! the simulation workloads in this repository (hundreds of MB/s on a
+//! laptop-class core).
+
+use crate::ChunkHash;
+
+const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+/// Streaming SHA-1 hasher.
+///
+/// ```
+/// use mhd_hash::Sha1;
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finalize().to_hex(),
+///     "a9993e364706816aba3e25717850c26c9cd0d89d"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    /// Partial block buffer.
+    buf: [u8; 64],
+    /// Number of valid bytes in `buf` (always < 64 between calls).
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Sha1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sha1").field("len", &self.len).finish_non_exhaustive()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha1 { state: H0, len: 0, buf: [0u8; 64], buf_len: 0 }
+    }
+
+    /// Absorbs `data` into the digest state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        // Top up a partial block first.
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            } else {
+                // Block still partial: all input was consumed by the top-up.
+                debug_assert!(input.is_empty());
+                return;
+            }
+        }
+
+        // Whole blocks straight from the input.
+        let mut chunks = input.chunks_exact(64);
+        for block in &mut chunks {
+            compress(&mut self.state, block.try_into().expect("chunks_exact(64)"));
+        }
+
+        // Stash the tail.
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Number of bytes absorbed so far.
+    pub fn message_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Consumes the hasher and returns the 160-bit digest.
+    pub fn finalize(mut self) -> ChunkHash {
+        let bit_len = self.len.wrapping_mul(8);
+
+        // Padding: 0x80, zeros, 64-bit big-endian bit length.
+        self.raw_update(&[0x80]);
+        while self.buf_len != 56 {
+            self.raw_update(&[0]);
+        }
+        self.raw_update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        ChunkHash::from_bytes(out)
+    }
+
+    /// `update` without advancing the message length (used for padding).
+    fn raw_update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buf[self.buf_len] = b;
+            self.buf_len += 1;
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            }
+        }
+    }
+}
+
+/// One-shot convenience wrapper: `sha1(data)` == update-then-finalize.
+pub fn sha1(data: &[u8]) -> ChunkHash {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// The SHA-1 compression function over a single 64-byte block.
+///
+/// Uses the classic trick of keeping the 80-entry message schedule in a
+/// 16-word ring (`w[t & 15]`), since `W[t]` only depends on `W[t-3]`,
+/// `W[t-8]`, `W[t-14]`, and `W[t-16]`.
+fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (i, word) in w.iter_mut().enumerate() {
+        *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4-byte word"));
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+
+    macro_rules! round {
+        ($t:expr, $f:expr, $k:expr) => {{
+            let t = $t;
+            let wt = if t < 16 {
+                w[t]
+            } else {
+                let x = (w[(t + 13) & 15] ^ w[(t + 8) & 15] ^ w[(t + 2) & 15] ^ w[t & 15])
+                    .rotate_left(1);
+                w[t & 15] = x;
+                x
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add($f)
+                .wrapping_add(e)
+                .wrapping_add($k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }};
+    }
+
+    for t in 0..20 {
+        round!(t, (b & c) | ((!b) & d), 0x5A82_7999);
+    }
+    for t in 20..40 {
+        round!(t, b ^ c ^ d, 0x6ED9_EBA1);
+    }
+    for t in 40..60 {
+        round!(t, (b & c) | (b & d) | (c & d), 0x8F1B_BCDC);
+    }
+    for t in 60..80 {
+        round!(t, b ^ c ^ d, 0xCA62_C1D6);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-1 Appendix A/B vectors plus a few well-known digests.
+    #[test]
+    fn fips_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (b"The quick brown fox jumps over the lazy dog", "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
+            (b"The quick brown fox jumps over the lazy cog", "de9f2c7fd25e1b3afad3e85a0bd17d9b100db4b3"),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(sha1(input).to_hex(), *expect, "input {:?}", input);
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // FIPS 180-1 Appendix C: one million repetitions of "a".
+        let mut h = Sha1::new();
+        let block = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&block);
+        }
+        assert_eq!(h.finalize().to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_equals_oneshot_at_every_split() {
+        let data: Vec<u8> = (0u32..300).map(|i| (i * 7 + 3) as u8).collect();
+        let whole = sha1(&data);
+        for split in 0..data.len() {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn multi_way_split_with_empty_updates() {
+        let data = vec![0xABu8; 197];
+        let mut h = Sha1::new();
+        h.update(&[]);
+        for chunk in data.chunks(13) {
+            h.update(chunk);
+            h.update(&[]);
+        }
+        assert_eq!(h.finalize(), sha1(&data));
+    }
+
+    #[test]
+    fn message_len_tracks_bytes() {
+        let mut h = Sha1::new();
+        h.update(&[0u8; 100]);
+        h.update(&[0u8; 28]);
+        assert_eq!(h.message_len(), 128);
+    }
+
+    #[test]
+    fn lengths_around_block_boundary() {
+        // Exercise padding for every interesting length near 64 and 128.
+        for len in (0..=130).chain([1000, 4096]) {
+            let data = vec![0x5Cu8; len];
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), sha1(&data), "len {len}");
+        }
+    }
+}

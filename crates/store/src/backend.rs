@@ -1,0 +1,459 @@
+//! Object storage backends.
+//!
+//! A [`Backend`] is a flat object store with four namespaces, one per
+//! metadata [`FileKind`]. [`MemBackend`] keeps everything in RAM (the
+//! default for experiments — the paper's numbers are counts and ratios, not
+//! device latencies), while [`DirBackend`] lays the same objects out as
+//! real files in a directory tree, mirroring the paper's "user space of the
+//! Ext3 file system" prototypes. [`FaultBackend`] wraps another backend and
+//! fails the n-th operation, for failure-injection tests.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+
+use bytes::Bytes;
+
+use crate::{StoreError, StoreResult};
+
+/// The four metadata file categories of the paper's system (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FileKind {
+    /// Container of non-duplicate data bytes.
+    DiskChunk,
+    /// DiskChunkManifest: hash sequence describing one DiskChunk.
+    Manifest,
+    /// Sampled hash value pointing at one Manifest.
+    Hook,
+    /// Per-input-file reconstruction recipe.
+    FileManifest,
+}
+
+impl FileKind {
+    /// Directory name used by [`DirBackend`].
+    pub fn dir_name(&self) -> &'static str {
+        match self {
+            FileKind::DiskChunk => "chunks",
+            FileKind::Manifest => "manifests",
+            FileKind::Hook => "hooks",
+            FileKind::FileManifest => "file_manifests",
+        }
+    }
+
+    /// All categories, for iteration in reports.
+    pub const ALL: [FileKind; 4] =
+        [FileKind::DiskChunk, FileKind::Manifest, FileKind::Hook, FileKind::FileManifest];
+}
+
+/// A flat object store. `put` creates (a new inode), `update` rewrites an
+/// existing object in place, `get`/`get_range` read.
+///
+/// DiskChunks and Hooks are never updated by the engines — that invariant
+/// lives in the typed stores layered on top, not here.
+pub trait Backend {
+    /// Creates a new object. Fails with [`StoreError::AlreadyExists`] if the
+    /// name is taken.
+    fn put(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()>;
+
+    /// Rewrites an existing object. Fails with [`StoreError::NotFound`] if
+    /// absent.
+    fn update(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()>;
+
+    /// Reads a whole object.
+    fn get(&mut self, kind: FileKind, name: &str) -> StoreResult<Bytes>;
+
+    /// Reads `len` bytes at `offset`.
+    fn get_range(&mut self, kind: FileKind, name: &str, offset: u64, len: u64)
+        -> StoreResult<Bytes>;
+
+    /// Object size in bytes, or `NotFound`.
+    fn size_of(&mut self, kind: FileKind, name: &str) -> StoreResult<u64>;
+
+    /// Existence check without error plumbing.
+    fn exists(&mut self, kind: FileKind, name: &str) -> bool;
+
+    /// Number of objects of `kind` (== inode count for that category).
+    fn count(&mut self, kind: FileKind) -> u64;
+
+    /// Names of all objects of `kind`, sorted (deterministic iteration for
+    /// reports and restore).
+    fn list(&mut self, kind: FileKind) -> Vec<String>;
+
+    /// Deletes an object (garbage collection). Fails with
+    /// [`StoreError::NotFound`] if absent.
+    fn delete(&mut self, kind: FileKind, name: &str) -> StoreResult<()>;
+}
+
+/// In-memory backend: a `BTreeMap` per [`FileKind`].
+#[derive(Default)]
+pub struct MemBackend {
+    maps: [BTreeMap<String, Bytes>; 4],
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn map(&self, kind: FileKind) -> &BTreeMap<String, Bytes> {
+        &self.maps[kind as usize]
+    }
+
+    fn map_mut(&mut self, kind: FileKind) -> &mut BTreeMap<String, Bytes> {
+        &mut self.maps[kind as usize]
+    }
+
+    /// Total bytes stored in a category (used by ledger cross-checks).
+    pub fn bytes_of_kind(&self, kind: FileKind) -> u64 {
+        self.map(kind).values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl Backend for MemBackend {
+    fn put(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        let map = self.map_mut(kind);
+        if map.contains_key(name) {
+            return Err(StoreError::AlreadyExists { kind, name: name.to_string() });
+        }
+        map.insert(name.to_string(), Bytes::copy_from_slice(data));
+        Ok(())
+    }
+
+    fn update(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        let map = self.map_mut(kind);
+        match map.get_mut(name) {
+            Some(slot) => {
+                *slot = Bytes::copy_from_slice(data);
+                Ok(())
+            }
+            None => Err(StoreError::NotFound { kind, name: name.to_string() }),
+        }
+    }
+
+    fn get(&mut self, kind: FileKind, name: &str) -> StoreResult<Bytes> {
+        self.map(kind)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound { kind, name: name.to_string() })
+    }
+
+    fn get_range(
+        &mut self,
+        kind: FileKind,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> StoreResult<Bytes> {
+        let obj = self
+            .map(kind)
+            .get(name)
+            .ok_or_else(|| StoreError::NotFound { kind, name: name.to_string() })?;
+        let end = offset.checked_add(len).filter(|&e| e <= obj.len() as u64).ok_or(
+            StoreError::OutOfRange { name: name.to_string(), offset, len, size: obj.len() as u64 },
+        )?;
+        Ok(obj.slice(offset as usize..end as usize))
+    }
+
+    fn size_of(&mut self, kind: FileKind, name: &str) -> StoreResult<u64> {
+        self.map(kind)
+            .get(name)
+            .map(|v| v.len() as u64)
+            .ok_or_else(|| StoreError::NotFound { kind, name: name.to_string() })
+    }
+
+    fn exists(&mut self, kind: FileKind, name: &str) -> bool {
+        self.map(kind).contains_key(name)
+    }
+
+    fn count(&mut self, kind: FileKind) -> u64 {
+        self.map(kind).len() as u64
+    }
+
+    fn list(&mut self, kind: FileKind) -> Vec<String> {
+        self.map(kind).keys().cloned().collect()
+    }
+
+    fn delete(&mut self, kind: FileKind, name: &str) -> StoreResult<()> {
+        self.map_mut(kind)
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NotFound { kind, name: name.to_string() })
+    }
+}
+
+/// Directory-tree backend: `root/{chunks,manifests,hooks,file_manifests}/`.
+///
+/// Object names become file names (names used by the substrate are always
+/// hex strings or sanitised paths, so no escaping is needed beyond `/`
+/// replacement).
+pub struct DirBackend {
+    root: PathBuf,
+}
+
+impl DirBackend {
+    /// Creates the directory layout under `root`.
+    pub fn create(root: impl Into<PathBuf>) -> StoreResult<Self> {
+        let root = root.into();
+        for kind in FileKind::ALL {
+            std::fs::create_dir_all(root.join(kind.dir_name()))?;
+        }
+        Ok(DirBackend { root })
+    }
+
+    fn path(&self, kind: FileKind, name: &str) -> PathBuf {
+        // FileManifest names can contain path separators; flatten them.
+        let safe: String =
+            name.chars().map(|c| if c == '/' || c == '\\' { '_' } else { c }).collect();
+        self.root.join(kind.dir_name()).join(safe)
+    }
+}
+
+impl Backend for DirBackend {
+    fn put(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        let path = self.path(kind, name);
+        if path.exists() {
+            return Err(StoreError::AlreadyExists { kind, name: name.to_string() });
+        }
+        std::fs::write(path, data)?;
+        Ok(())
+    }
+
+    fn update(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        let path = self.path(kind, name);
+        if !path.exists() {
+            return Err(StoreError::NotFound { kind, name: name.to_string() });
+        }
+        std::fs::write(path, data)?;
+        Ok(())
+    }
+
+    fn get(&mut self, kind: FileKind, name: &str) -> StoreResult<Bytes> {
+        match std::fs::read(self.path(kind, name)) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound { kind, name: name.to_string() })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn get_range(
+        &mut self,
+        kind: FileKind,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> StoreResult<Bytes> {
+        let path = self.path(kind, name);
+        let mut file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NotFound { kind, name: name.to_string() })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let size = file.metadata()?.len();
+        if offset.checked_add(len).is_none_or(|e| e > size) {
+            return Err(StoreError::OutOfRange { name: name.to_string(), offset, len, size });
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn size_of(&mut self, kind: FileKind, name: &str) -> StoreResult<u64> {
+        match std::fs::metadata(self.path(kind, name)) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound { kind, name: name.to_string() })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn exists(&mut self, kind: FileKind, name: &str) -> bool {
+        self.path(kind, name).exists()
+    }
+
+    fn count(&mut self, kind: FileKind) -> u64 {
+        std::fs::read_dir(self.root.join(kind.dir_name())).map(|d| d.count() as u64).unwrap_or(0)
+    }
+
+    fn list(&mut self, kind: FileKind) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(self.root.join(kind.dir_name()))
+            .map(|d| {
+                d.filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok())).collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    fn delete(&mut self, kind: FileKind, name: &str) -> StoreResult<()> {
+        match std::fs::remove_file(self.path(kind, name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound { kind, name: name.to_string() })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Failure-injection wrapper: the `fail_after`-th mutating-or-reading
+/// operation (0-based) returns an injected I/O error; everything before it
+/// passes through.
+pub struct FaultBackend<B> {
+    inner: B,
+    ops: u64,
+    fail_at: u64,
+}
+
+impl<B: Backend> FaultBackend<B> {
+    /// Wraps `inner`; the operation with index `fail_at` fails.
+    pub fn new(inner: B, fail_at: u64) -> Self {
+        FaultBackend { inner, ops: 0, fail_at }
+    }
+
+    /// Operations performed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Unwraps the inner backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    fn tick(&mut self) -> StoreResult<()> {
+        let n = self.ops;
+        self.ops += 1;
+        if n == self.fail_at {
+            Err(StoreError::Io(std::io::Error::other("injected fault")))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<B: Backend> Backend for FaultBackend<B> {
+    fn put(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        self.tick()?;
+        self.inner.put(kind, name, data)
+    }
+    fn update(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        self.tick()?;
+        self.inner.update(kind, name, data)
+    }
+    fn get(&mut self, kind: FileKind, name: &str) -> StoreResult<Bytes> {
+        self.tick()?;
+        self.inner.get(kind, name)
+    }
+    fn get_range(
+        &mut self,
+        kind: FileKind,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> StoreResult<Bytes> {
+        self.tick()?;
+        self.inner.get_range(kind, name, offset, len)
+    }
+    fn size_of(&mut self, kind: FileKind, name: &str) -> StoreResult<u64> {
+        self.inner.size_of(kind, name)
+    }
+    fn exists(&mut self, kind: FileKind, name: &str) -> bool {
+        self.inner.exists(kind, name)
+    }
+    fn count(&mut self, kind: FileKind) -> u64 {
+        self.inner.count(kind)
+    }
+    fn list(&mut self, kind: FileKind) -> Vec<String> {
+        self.inner.list(kind)
+    }
+    fn delete(&mut self, kind: FileKind, name: &str) -> StoreResult<()> {
+        self.tick()?;
+        self.inner.delete(kind, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &mut dyn Backend) {
+        backend.put(FileKind::DiskChunk, "a", b"hello world").unwrap();
+        assert!(matches!(
+            backend.put(FileKind::DiskChunk, "a", b"x"),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        assert_eq!(&backend.get(FileKind::DiskChunk, "a").unwrap()[..], b"hello world");
+        assert_eq!(&backend.get_range(FileKind::DiskChunk, "a", 6, 5).unwrap()[..], b"world");
+        assert!(matches!(
+            backend.get_range(FileKind::DiskChunk, "a", 6, 6),
+            Err(StoreError::OutOfRange { .. })
+        ));
+        assert_eq!(backend.size_of(FileKind::DiskChunk, "a").unwrap(), 11);
+        assert!(backend.exists(FileKind::DiskChunk, "a"));
+        assert!(!backend.exists(FileKind::Manifest, "a"));
+        assert_eq!(backend.count(FileKind::DiskChunk), 1);
+        assert_eq!(backend.count(FileKind::Hook), 0);
+
+        backend.update(FileKind::DiskChunk, "a", b"rewritten").unwrap();
+        assert_eq!(&backend.get(FileKind::DiskChunk, "a").unwrap()[..], b"rewritten");
+        assert!(matches!(
+            backend.update(FileKind::DiskChunk, "missing", b"x"),
+            Err(StoreError::NotFound { .. })
+        ));
+        assert!(matches!(
+            backend.get(FileKind::DiskChunk, "missing"),
+            Err(StoreError::NotFound { .. })
+        ));
+
+        backend.put(FileKind::DiskChunk, "b", b"second").unwrap();
+        assert_eq!(backend.list(FileKind::DiskChunk), vec!["a".to_string(), "b".to_string()]);
+
+        backend.delete(FileKind::DiskChunk, "a").unwrap();
+        assert!(!backend.exists(FileKind::DiskChunk, "a"));
+        assert!(matches!(
+            backend.delete(FileKind::DiskChunk, "a"),
+            Err(StoreError::NotFound { .. })
+        ));
+        assert_eq!(backend.count(FileKind::DiskChunk), 1);
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        exercise(&mut MemBackend::new());
+    }
+
+    #[test]
+    fn dir_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("mhd-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&mut DirBackend::create(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_bytes_of_kind() {
+        let mut b = MemBackend::new();
+        b.put(FileKind::Hook, "h1", &[0u8; 20]).unwrap();
+        b.put(FileKind::Hook, "h2", &[0u8; 20]).unwrap();
+        assert_eq!(b.bytes_of_kind(FileKind::Hook), 40);
+        assert_eq!(b.bytes_of_kind(FileKind::Manifest), 0);
+    }
+
+    #[test]
+    fn fault_backend_fails_exactly_once() {
+        let mut b = FaultBackend::new(MemBackend::new(), 1);
+        b.put(FileKind::Hook, "a", b"x").unwrap(); // op 0: ok
+        assert!(matches!(b.put(FileKind::Hook, "b", b"x"), Err(StoreError::Io(_)))); // op 1
+        b.put(FileKind::Hook, "c", b"x").unwrap(); // op 2: ok again
+        assert_eq!(b.ops(), 3);
+        // The failed op must not have mutated state.
+        assert!(!b.exists(FileKind::Hook, "b"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Substrate error type.
+
+use std::fmt;
+
+use crate::FileKind;
+
+/// Result alias for substrate operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The named object does not exist.
+    NotFound {
+        /// Object category.
+        kind: FileKind,
+        /// Object name.
+        name: String,
+    },
+    /// An object with this name already exists (puts never overwrite;
+    /// DiskChunks and Hooks are immutable by design).
+    AlreadyExists {
+        /// Object category.
+        kind: FileKind,
+        /// Object name.
+        name: String,
+    },
+    /// A byte range fell outside the object.
+    OutOfRange {
+        /// Object name.
+        name: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual object size.
+        size: u64,
+    },
+    /// Stored bytes failed to decode.
+    Corrupt(String),
+    /// Underlying I/O failure (directory backend) or injected fault.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound { kind, name } => write!(f, "{kind:?} {name:?} not found"),
+            StoreError::AlreadyExists { kind, name } => {
+                write!(f, "{kind:?} {name:?} already exists")
+            }
+            StoreError::OutOfRange { name, offset, len, size } => {
+                write!(f, "range {offset}+{len} outside object {name:?} of size {size}")
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt object: {msg}"),
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

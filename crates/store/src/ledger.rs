@@ -1,0 +1,89 @@
+//! Metadata size accounting mirroring Table I of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes charged per inode, following the paper's assumption ("each inode
+/// costs 256 bytes", §IV).
+pub const INODE_BYTES: u64 = 256;
+
+/// Running totals of metadata and data bytes, in the categories of the
+/// paper's Table I ("Metadata Size Comparison") plus the FileManifest
+/// bytes that Fig. 7(c)/(d) add back in.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetadataLedger {
+    /// Inodes holding DiskChunks.
+    pub inodes_disk_chunks: u64,
+    /// Inodes holding Hooks.
+    pub inodes_hooks: u64,
+    /// Inodes holding Manifests.
+    pub inodes_manifests: u64,
+    /// Inodes holding FileManifests.
+    pub inodes_file_manifests: u64,
+    /// Payload bytes of all Hook files (20 each in the paper's format).
+    pub hook_bytes: u64,
+    /// Payload bytes of all Manifest files, tracked through updates (HHR
+    /// growth adjusts this by the delta).
+    pub manifest_bytes: u64,
+    /// Payload bytes of all FileManifest files.
+    pub file_manifest_bytes: u64,
+    /// Non-duplicate data bytes stored in DiskChunks (not metadata; used
+    /// for the data-only DER).
+    pub stored_data_bytes: u64,
+}
+
+impl MetadataLedger {
+    /// Total inode count across metadata categories (including DiskChunk
+    /// inodes — the paper's Fig. 7(a) counts those too).
+    pub fn total_inodes(&self) -> u64 {
+        self.inodes_disk_chunks
+            + self.inodes_hooks
+            + self.inodes_manifests
+            + self.inodes_file_manifests
+    }
+
+    /// Bytes consumed by inodes at 256 bytes each.
+    pub fn inode_bytes(&self) -> u64 {
+        self.total_inodes() * INODE_BYTES
+    }
+
+    /// Manifest + Hook payload bytes (the paper's Fig. 7(b) metric).
+    pub fn manifest_and_hook_bytes(&self) -> u64 {
+        self.manifest_bytes + self.hook_bytes
+    }
+
+    /// Everything the paper's "Total MetaDataRatio" (Fig. 7(d)) counts:
+    /// inode bytes + Hook + Manifest + FileManifest payloads.
+    pub fn total_metadata_bytes(&self) -> u64 {
+        self.inode_bytes() + self.hook_bytes + self.manifest_bytes + self.file_manifest_bytes
+    }
+
+    /// Total on-disk footprint: stored data plus all metadata. The real
+    /// DER divides the input size by this.
+    pub fn total_output_bytes(&self) -> u64 {
+        self.stored_data_bytes + self.total_metadata_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose() {
+        let l = MetadataLedger {
+            inodes_disk_chunks: 2,
+            inodes_hooks: 3,
+            inodes_manifests: 1,
+            inodes_file_manifests: 4,
+            hook_bytes: 60,
+            manifest_bytes: 370,
+            file_manifest_bytes: 100,
+            stored_data_bytes: 10_000,
+        };
+        assert_eq!(l.total_inodes(), 10);
+        assert_eq!(l.inode_bytes(), 2560);
+        assert_eq!(l.manifest_and_hook_bytes(), 430);
+        assert_eq!(l.total_metadata_bytes(), 2560 + 60 + 370 + 100);
+        assert_eq!(l.total_output_bytes(), 10_000 + 3090);
+    }
+}

@@ -1,0 +1,61 @@
+//! A sharded backup fleet: machine-affinity routing across parallel MHD
+//! shards — the "large scale data backup" deployment the paper's
+//! introduction motivates — including what sharding costs in cross-machine
+//! duplication.
+
+use mhd_core::shard::ShardedMhd;
+use mhd_core::{Deduplicator, EngineConfig, MhdEngine};
+use mhd_examples::human_bytes;
+use mhd_store::MemBackend;
+use mhd_workload::{Corpus, CorpusSpec};
+
+fn main() {
+    let spec = CorpusSpec { seed: 99, ..CorpusSpec::paper_like(48 << 20) };
+    let machines = spec.machines;
+    let corpus = Corpus::generate(spec);
+    println!(
+        "fleet input: {} machines x {} days, {}",
+        machines,
+        spec.snapshots,
+        human_bytes(corpus.total_bytes())
+    );
+
+    let config = EngineConfig::new(2048, 16);
+
+    // Single-node reference.
+    let mut single = MhdEngine::new(MemBackend::new(), config).expect("config");
+    let start = std::time::Instant::now();
+    for s in &corpus.snapshots {
+        single.process_snapshot(s).expect("dedup");
+    }
+    let single_report = single.finish().expect("finish");
+    let single_wall = start.elapsed().as_secs_f64();
+
+    println!("\n{:>10} {:>12} {:>10} {:>12}", "shards", "stored", "data DER", "wall (s)");
+    println!(
+        "{:>10} {:>12} {:>10.3} {:>12.2}",
+        1,
+        human_bytes(single_report.ledger.stored_data_bytes),
+        single_report.input_bytes as f64 / single_report.ledger.stored_data_bytes as f64,
+        single_wall,
+    );
+
+    for shards in [2usize, 4, 7] {
+        let mut fleet = ShardedMhd::new_in_memory(shards, config).expect("config");
+        let start = std::time::Instant::now();
+        for day in corpus.snapshots.chunks(machines) {
+            fleet.process_batch(day).expect("batch");
+        }
+        let (merged, _) = fleet.finish().expect("finish");
+        println!(
+            "{:>10} {:>12} {:>10.3} {:>12.2}",
+            shards,
+            human_bytes(merged.ledger.stored_data_bytes),
+            merged.input_bytes as f64 / merged.ledger.stored_data_bytes as f64,
+            start.elapsed().as_secs_f64(),
+        );
+    }
+    println!(
+        "\nsharding trades cross-machine duplicates (shared OS bases land on\ndifferent shards) for parallel wall-clock; day-over-day dedup is unaffected."
+    );
+}

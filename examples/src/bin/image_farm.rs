@@ -1,0 +1,64 @@
+//! A VM-image farm: many clones of few golden images, lightly customised —
+//! the clone-heavy workload the paper's introduction motivates. Compares
+//! BF-MHD's metadata bill against flat CDC at the same dedup granularity:
+//! both find essentially all the duplication, but CDC pays one hook inode
+//! + manifest entry per chunk while SHM merges them away.
+
+use mhd_core::{Deduplicator, EngineConfig, MhdEngine, CdcEngine};
+use mhd_examples::human_bytes;
+use mhd_store::MemBackend;
+use mhd_workload::{Corpus, CorpusSpec};
+
+fn main() {
+    // 12 VMs cloned from 2 golden images, 6 days, high base share.
+    let spec = CorpusSpec {
+        seed: 23,
+        machines: 12,
+        snapshots: 6,
+        os_families: 2,
+        machine_bytes: 512 << 10,
+        os_base_fraction: 0.9, // golden image dominates
+        mean_slice_len: 24 << 10,
+        mean_site_len: 8 << 10,
+        ..CorpusSpec::default()
+    };
+    let corpus = Corpus::generate(spec);
+    println!(
+        "farm: {} VM snapshots, {} ({} golden images)",
+        corpus.snapshots.len(),
+        human_bytes(corpus.total_bytes()),
+        spec.os_families
+    );
+
+    let config = EngineConfig::new(1024, 16);
+    let run = |name: &str, report: mhd_core::DedupReport| {
+        let m = mhd_core::metrics::compute(&report, &mhd_core::metrics::DiskModel::default());
+        println!(
+            "{name:>8}: data DER {:.2} | real DER {:.2} | metadata {} ({:.3}%) | {} hook inodes | {} manifest B",
+            m.data_only_der,
+            m.real_der,
+            human_bytes(report.ledger.total_metadata_bytes()),
+            m.metadata_ratio * 100.0,
+            report.ledger.inodes_hooks,
+            report.ledger.manifest_bytes,
+        );
+        report
+    };
+
+    let mut mhd = MhdEngine::new(MemBackend::new(), config).expect("config");
+    for s in &corpus.snapshots {
+        mhd.process_snapshot(s).expect("dedup");
+    }
+    let mhd_report = run("BF-MHD", mhd.finish().expect("finish"));
+
+    let mut cdc = CdcEngine::new(MemBackend::new(), config).expect("config");
+    for s in &corpus.snapshots {
+        cdc.process_snapshot(s).expect("dedup");
+    }
+    let cdc_report = run("CDC", cdc.finish().expect("finish"));
+
+    let saving = 1.0
+        - mhd_report.ledger.total_metadata_bytes() as f64
+            / cdc_report.ledger.total_metadata_bytes() as f64;
+    println!("\nmetadata harnessing saved {:.1}% of CDC's metadata at the same granularity", saving * 100.0);
+}

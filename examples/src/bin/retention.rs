@@ -1,0 +1,81 @@
+//! A retention policy in action: keep the last 7 daily backups, retire the
+//! rest, and compact sparse containers — the full lifecycle (backup → GC →
+//! compaction → restore) on one store.
+
+use mhd_core::{compact, gc, restore, Deduplicator, EngineConfig, MhdEngine};
+use mhd_examples::human_bytes;
+use mhd_store::MemBackend;
+use mhd_workload::{Corpus, CorpusSpec};
+
+const KEEP_DAYS: usize = 7;
+
+fn main() {
+    let spec = CorpusSpec { seed: 55, ..CorpusSpec::paper_like(32 << 20) };
+    let machines = spec.machines;
+    let days = spec.snapshots;
+    let corpus = Corpus::generate(spec);
+    println!(
+        "retention demo: {} machines x {} days, {}; policy: keep last {KEEP_DAYS} days",
+        machines,
+        days,
+        human_bytes(corpus.total_bytes())
+    );
+
+    let mut engine =
+        MhdEngine::new(MemBackend::new(), EngineConfig::new(2048, 16)).expect("config");
+
+    println!(
+        "\n{:>4} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "day", "ingested", "stored", "gc freed", "compacted", "total output"
+    );
+    for day in 0..days {
+        for snapshot in &corpus.snapshots[day * machines..(day + 1) * machines] {
+            engine.process_snapshot(snapshot).expect("dedup");
+        }
+        // finish() flushes dirty manifests so maintenance sees a
+        // consistent store; the engine keeps accepting streams afterwards.
+        let _ = engine.finish().expect("flush");
+
+        let (mut gc_freed, mut compacted) = (0u64, 0u64);
+        if day >= KEEP_DAYS {
+            let retire = day - KEEP_DAYS;
+            for machine in 0..machines {
+                let report =
+                    gc::delete_stream(engine.substrate_mut(), &format!("m{machine}/d{retire}/"))
+                        .expect("gc");
+                gc_freed += report.data_bytes_freed;
+            }
+            let report = compact::compact(engine.substrate_mut(), 0.7).expect("compact");
+            compacted = report.bytes_reclaimed;
+        }
+
+        let ledger = engine.substrate_mut().ledger();
+        let ingested: u64 = corpus.snapshots[..(day + 1) * machines]
+            .iter()
+            .map(|s| s.total_bytes())
+            .sum();
+        println!(
+            "{:>4} {:>12} {:>12} {:>10} {:>10} {:>12}",
+            day,
+            human_bytes(ingested),
+            human_bytes(ledger.stored_data_bytes),
+            human_bytes(gc_freed),
+            human_bytes(compacted),
+            human_bytes(ledger.total_output_bytes()),
+        );
+    }
+
+    // The retained window must still restore byte-exactly.
+    let mut verified = 0;
+    for snapshot in corpus.snapshots.iter().filter(|s| s.day + KEEP_DAYS >= days) {
+        for file in &snapshot.files {
+            let restored =
+                restore::restore_file(engine.substrate_mut(), &file.path).expect("restore");
+            assert_eq!(restored, file.data, "{}", file.path);
+            verified += 1;
+        }
+    }
+    let fsck = mhd_core::fsck::check_store(engine.substrate_mut());
+    assert!(fsck.is_healthy(), "{:?}", fsck.problems);
+    println!("\nretained window verified: {verified} files byte-exact; store fsck-clean");
+}

@@ -1,0 +1,68 @@
+//! Shared helpers for the cross-crate integration tests in `tests/`.
+
+#![forbid(unsafe_code)]
+
+use mhd_core::{
+    BimodalEngine, CdcEngine, DedupReport, Deduplicator, EngineConfig, FbcEngine, MhdEngine,
+    SparseIndexEngine, SubChunkEngine,
+};
+use mhd_store::{MemBackend, Substrate};
+use mhd_workload::Corpus;
+
+/// Every engine under test, by name.
+pub const ALL_ENGINES: [&str; 6] =
+    ["bf-mhd", "cdc", "bimodal", "subchunk", "sparse-indexing", "fbc"];
+
+/// Runs the named engine over `corpus`; returns the report and the
+/// substrate for restore verification.
+pub fn run_named(
+    name: &str,
+    corpus: &Corpus,
+    config: EngineConfig,
+) -> (DedupReport, Substrate<MemBackend>) {
+    macro_rules! drive {
+        ($engine:expr) => {{
+            let mut engine = $engine.expect("valid config");
+            for s in &corpus.snapshots {
+                engine.process_snapshot(s).expect("dedup");
+            }
+            let report = engine.finish().expect("finish");
+            (report, take_substrate(engine))
+        }};
+    }
+    // Each engine type owns its substrate; move it out via a byte-level
+    // swap with a fresh one (the engine is dropped right after).
+    fn take_substrate<E>(mut engine: E) -> Substrate<MemBackend>
+    where
+        E: SubstrateAccess,
+    {
+        std::mem::replace(engine.substrate_mut_dyn(), Substrate::new(MemBackend::new()))
+    }
+
+    match name {
+        "bf-mhd" => drive!(MhdEngine::new(MemBackend::new(), config)),
+        "cdc" => drive!(CdcEngine::new(MemBackend::new(), config)),
+        "bimodal" => drive!(BimodalEngine::new(MemBackend::new(), config)),
+        "subchunk" => drive!(SubChunkEngine::new(MemBackend::new(), config)),
+        "sparse-indexing" => drive!(SparseIndexEngine::new(MemBackend::new(), config)),
+        "fbc" => drive!(FbcEngine::new(MemBackend::new(), config)),
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+/// Uniform access to each engine's substrate.
+pub trait SubstrateAccess {
+    /// The engine's substrate.
+    fn substrate_mut_dyn(&mut self) -> &mut Substrate<MemBackend>;
+}
+
+macro_rules! impl_access {
+    ($($ty:ident),*) => {
+        $(impl SubstrateAccess for $ty<MemBackend> {
+            fn substrate_mut_dyn(&mut self) -> &mut Substrate<MemBackend> {
+                self.substrate_mut()
+            }
+        })*
+    };
+}
+impl_access!(MhdEngine, CdcEngine, BimodalEngine, SubChunkEngine, SparseIndexEngine, FbcEngine);

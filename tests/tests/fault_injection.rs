@@ -1,0 +1,129 @@
+//! Failure injection: engines must surface backend errors without
+//! panicking, and state committed before the fault must stay readable.
+
+use mhd_core::{CdcEngine, Deduplicator, EngineConfig, EngineError, MhdEngine};
+use mhd_store::{Backend, FaultBackend, FileKind, MemBackend};
+use mhd_workload::{Corpus, CorpusSpec, Snapshot};
+
+fn snapshot(seed: u64) -> Snapshot {
+    let corpus = Corpus::generate(CorpusSpec::tiny(seed));
+    corpus.snapshots[0].clone()
+}
+
+/// Every fault index up to `horizon` either succeeds (fault landed past
+/// the run) or surfaces `EngineError::Store` — never a panic.
+#[test]
+fn mhd_survives_faults_at_every_offset() {
+    let snap = snapshot(501);
+    let mut failures = 0;
+    for fault_at in 0..40u64 {
+        let backend = FaultBackend::new(MemBackend::new(), fault_at);
+        let mut engine = MhdEngine::new(backend, EngineConfig::new(512, 4)).expect("config");
+        let result = engine
+            .process_snapshot(&snap)
+            .and_then(|()| engine.finish().map(|_| ()));
+        if let Err(e) = result {
+            failures += 1;
+            assert!(matches!(e, EngineError::Store(_)), "unexpected error kind: {e}");
+        }
+    }
+    assert!(failures > 0, "some fault offsets must land inside the run");
+}
+
+#[test]
+fn cdc_survives_faults_at_every_offset() {
+    let snap = snapshot(502);
+    let mut failures = 0;
+    for fault_at in 0..40u64 {
+        let backend = FaultBackend::new(MemBackend::new(), fault_at);
+        let mut engine = CdcEngine::new(backend, EngineConfig::new(512, 4)).expect("config");
+        let result =
+            engine.process_snapshot(&snap).and_then(|()| engine.finish().map(|_| ()));
+        if let Err(e) = result {
+            failures += 1;
+            assert!(matches!(e, EngineError::Store(_)));
+        }
+    }
+    assert!(failures > 0);
+}
+
+/// After a mid-run fault, objects written before the fault are intact and
+/// internally consistent (immutable DiskChunks/Hooks are never half
+/// updated).
+#[test]
+fn committed_state_survives_fault() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(503));
+    // First, measure how many backend ops a clean run performs.
+    let clean = FaultBackend::new(MemBackend::new(), u64::MAX);
+    let mut engine = MhdEngine::new(clean, EngineConfig::new(512, 4)).expect("config");
+    for s in &corpus.snapshots {
+        engine.process_snapshot(s).expect("clean run");
+    }
+    engine.finish().expect("clean finish");
+    let total_ops = {
+        let b = engine.substrate_mut().backend_mut();
+        b.ops()
+    };
+
+    // Now fault half-way and inspect the backend afterwards.
+    let fault_at = total_ops / 2;
+    let faulty = FaultBackend::new(MemBackend::new(), fault_at);
+    let mut engine = MhdEngine::new(faulty, EngineConfig::new(512, 4)).expect("config");
+    let mut failed = false;
+    for s in &corpus.snapshots {
+        if engine.process_snapshot(s).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    if !failed {
+        failed = engine.finish().is_err();
+    }
+    assert!(failed, "fault at {fault_at}/{total_ops} must fire");
+
+    let backend = engine.substrate_mut().backend_mut();
+    // Every committed manifest must decode and point at existing chunks.
+    for name in backend.list(FileKind::Manifest) {
+        let bytes = backend.get(FileKind::Manifest, &name).expect("committed manifest readable");
+        let manifest = mhd_store::Manifest::decode(
+            mhd_store::ManifestId(u64::from_str_radix(&name, 16).expect("hex name")),
+            &bytes,
+        )
+        .expect("committed manifest decodes");
+        for e in &manifest.entries {
+            assert!(
+                backend.exists(FileKind::DiskChunk, &e.container.name()),
+                "manifest {name} references missing container"
+            );
+        }
+    }
+}
+
+/// A file whose processing failed writes nothing that breaks restore of
+/// earlier, fully-committed files.
+#[test]
+fn earlier_files_restore_after_fault() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(504));
+    let faulty = FaultBackend::new(MemBackend::new(), 30);
+    let mut engine = MhdEngine::new(faulty, EngineConfig::new(512, 4)).expect("config");
+    let mut processed_streams = 0usize;
+    for s in &corpus.snapshots {
+        if engine.process_snapshot(s).is_err() {
+            break;
+        }
+        processed_streams += 1;
+    }
+    let substrate = engine.substrate_mut();
+    // Every FileManifest that exists must restore byte-exactly.
+    let mut restored = 0;
+    for s in corpus.snapshots.iter().take(processed_streams) {
+        for f in &s.files {
+            let bytes = mhd_core::restore::restore_file(substrate, &f.path)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.path));
+            assert_eq!(bytes, f.data, "{}", f.path);
+            restored += 1;
+        }
+    }
+    // (restored == 0 is legal if the fault hit the very first file.)
+    let _ = restored;
+}

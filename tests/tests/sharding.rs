@@ -1,0 +1,90 @@
+//! Sharded-fleet behaviour: scaling, affinity, and the cross-shard
+//! duplication trade-off.
+
+use mhd_core::shard::ShardedMhd;
+use mhd_core::{Deduplicator, EngineConfig, MhdEngine};
+use mhd_store::MemBackend;
+use mhd_workload::{Corpus, CorpusSpec};
+
+fn run_fleet(corpus: &Corpus, shards: usize) -> mhd_core::DedupReport {
+    let machines = corpus.spec().machines;
+    let mut fleet = ShardedMhd::new_in_memory(shards, EngineConfig::new(512, 8)).unwrap();
+    for day in corpus.snapshots.chunks(machines) {
+        fleet.process_batch(day).unwrap();
+    }
+    fleet.finish().unwrap().0
+}
+
+fn run_single(corpus: &Corpus) -> mhd_core::DedupReport {
+    let mut e = MhdEngine::new(MemBackend::new(), EngineConfig::new(512, 8)).unwrap();
+    for s in &corpus.snapshots {
+        e.process_snapshot(s).unwrap();
+    }
+    e.finish().unwrap()
+}
+
+#[test]
+fn sharding_costs_cross_machine_dup() {
+    // A corpus where cross-machine duplication matters: one OS family, so
+    // every machine shares the same base image. A single engine stores the
+    // base once; a fleet stores it once *per shard holding such machines*.
+    let spec = CorpusSpec {
+        seed: 401,
+        machines: 6,
+        snapshots: 3,
+        os_families: 1,
+        machine_bytes: 128 << 10,
+        os_base_fraction: 0.7,
+        mean_slice_len: 8 << 10,
+        mean_site_len: 2 << 10,
+        file_bytes: 32 << 10,
+        ..CorpusSpec::default()
+    };
+    let corpus = Corpus::generate(spec);
+
+    let single = run_single(&corpus);
+    let fleet3 = run_fleet(&corpus, 3);
+
+    let base = (spec.machine_bytes as f64 * spec.os_base_fraction) as u64;
+    let extra = fleet3.ledger.stored_data_bytes - single.ledger.stored_data_bytes;
+    // The fleet stores roughly (shards − 1) extra copies of the base.
+    assert!(extra > base, "sharding should cost at least one extra base copy, got {extra}");
+    assert!(extra < 4 * base, "but not more than ~(shards+1) copies, got {extra}");
+    // Temporal dedup is preserved: the fleet still finds most duplicates.
+    assert!(fleet3.dup_bytes * 10 > single.dup_bytes * 7);
+}
+
+#[test]
+fn fleet_reports_merge_consistently() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(402));
+    let machines = corpus.spec().machines;
+    let mut fleet = ShardedMhd::new_in_memory(2, EngineConfig::new(512, 8)).unwrap();
+    for day in corpus.snapshots.chunks(machines) {
+        fleet.process_batch(day).unwrap();
+    }
+    let (merged, per_shard) = fleet.finish().unwrap();
+    assert_eq!(merged.input_bytes, per_shard.iter().map(|r| r.input_bytes).sum::<u64>());
+    assert_eq!(merged.dup_bytes, per_shard.iter().map(|r| r.dup_bytes).sum::<u64>());
+    assert_eq!(
+        merged.ledger.stored_data_bytes,
+        per_shard.iter().map(|r| r.ledger.stored_data_bytes).sum::<u64>()
+    );
+    // Wall-clock merges as max, not sum.
+    let max = per_shard.iter().map(|r| r.dedup_seconds).fold(0.0f64, f64::max);
+    assert!((merged.dedup_seconds - max).abs() < 1e-9);
+}
+
+#[test]
+fn every_shard_store_is_fsck_clean() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(403));
+    let machines = corpus.spec().machines;
+    let mut fleet = ShardedMhd::new_in_memory(3, EngineConfig::new(512, 8)).unwrap();
+    for day in corpus.snapshots.chunks(machines) {
+        fleet.process_batch(day).unwrap();
+    }
+    fleet.finish().unwrap();
+    for shard in 0..3 {
+        let report = mhd_core::fsck::check_store(fleet.shard_mut(shard).substrate_mut());
+        assert!(report.is_healthy(), "shard {shard}: {:?}", report.problems);
+    }
+}
