@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The full local CI gate. Run before every push; everything must pass.
+#
+#   ./ci.sh          # tier-1 + style + lints + docs
+#   ./ci.sh tier1    # just the tier-1 gate (build + tests)
+#
+# Stages:
+#   1. tier-1: release build + full test suite (ROADMAP.md)
+#   2. rustfmt   — style, enforced via rustfmt.toml
+#   3. clippy    — all targets, warnings are errors
+#   4. rustdoc   — every public item documented, no broken links
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "tier-1: cargo build --release"
+cargo build --release
+
+step "tier-1: cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "tier1" ]]; then
+    echo "tier-1 gate passed."
+    exit 0
+fi
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo doc (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo
+echo "all CI stages passed."

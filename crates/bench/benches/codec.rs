@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mhd_bloom::CountMinSketch;
 use mhd_hash::sha1;
-use mhd_store::{DiskChunkId, FileManifest, Extent, Manifest, ManifestEntry, ManifestFormat, ManifestId};
+use mhd_store::{
+    DiskChunkId, Extent, FileManifest, Manifest, ManifestEntry, ManifestFormat, ManifestId,
+};
 use std::hint::black_box;
 
 fn manifest(entries: usize) -> Manifest {

@@ -2,7 +2,9 @@
 //! deduplication CPU budget.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mhd_chunking::{Chunker, FixedChunker, RabinChunker, RabinFingerprint, RabinTables, TttdChunker};
+use mhd_chunking::{
+    Chunker, FixedChunker, RabinChunker, RabinFingerprint, RabinTables, TttdChunker,
+};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::hint::black_box;

@@ -109,4 +109,5 @@ fn main() {
     );
 
     cli.write_json("dataset.json", &js);
+    cli.write_internals("dataset_internals.json");
 }

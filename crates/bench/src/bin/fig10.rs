@@ -14,14 +14,22 @@ fn main() {
     let mut results: Vec<RunResult> = Vec::new();
     for ecs in ECS_SWEEP {
         eprintln!("fig10: BF-MHD @ ECS {ecs}");
-        results.push(run_engine(EngineKind::Mhd, &corpus, scaled_config(ecs, cli.sd, corpus.total_bytes())));
+        results.push(run_engine(
+            EngineKind::Mhd,
+            &corpus,
+            scaled_config(ecs, cli.sd, corpus.total_bytes()),
+        ));
     }
 
     let rows_a: Vec<Vec<String>> = results
         .iter()
         .map(|r| vec![r.ecs.to_string(), format!("{:.1}", r.metrics.dad / 1024.0)])
         .collect();
-    print_table("Fig 10(a): DAD (KiB) detected by BF-MHD vs ECS", &["ECS (B)", "DAD (KiB)"], &rows_a);
+    print_table(
+        "Fig 10(a): DAD (KiB) detected by BF-MHD vs ECS",
+        &["ECS (B)", "DAD (KiB)"],
+        &rows_a,
+    );
 
     let rows_b: Vec<Vec<String>> = results
         .iter()
@@ -30,7 +38,10 @@ fn main() {
                 r.ecs.to_string(),
                 r.report.stats.hhr_reloads().to_string(),
                 r.report.dup_slices.to_string(),
-                format!("{:.3}", r.report.stats.hhr_reloads() as f64 / r.report.dup_slices.max(1) as f64),
+                format!(
+                    "{:.3}",
+                    r.report.stats.hhr_reloads() as f64 / r.report.dup_slices.max(1) as f64
+                ),
             ]
         })
         .collect();
@@ -52,4 +63,5 @@ fn main() {
     println!("\nall points satisfy the paper's bound: HHR reloads <= 2L");
 
     cli.write_json("fig10.json", &results);
+    cli.write_internals("fig10_internals.json");
 }

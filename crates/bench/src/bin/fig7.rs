@@ -13,13 +13,18 @@ fn main() {
     for ecs in ECS_SWEEP {
         for kind in EngineKind::FIGURE_SET {
             eprintln!("fig7: {} @ ECS {ecs}", kind.label());
-            results.push(run_engine(kind, &corpus, scaled_config(ecs, cli.sd, corpus.total_bytes())));
+            results.push(run_engine(
+                kind,
+                &corpus,
+                scaled_config(ecs, cli.sd, corpus.total_bytes()),
+            ));
         }
     }
 
     let panel = |title: &str, f: &dyn Fn(&RunResult) -> String| {
-        let header: Vec<String> =
-            std::iter::once("ECS (B)".to_string()).chain(EngineKind::FIGURE_SET.iter().map(|k| k.label().to_string())).collect();
+        let header: Vec<String> = std::iter::once("ECS (B)".to_string())
+            .chain(EngineKind::FIGURE_SET.iter().map(|k| k.label().to_string()))
+            .collect();
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         let rows: Vec<Vec<String>> = ECS_SWEEP
             .iter()
@@ -47,9 +52,8 @@ fn main() {
     panel("Fig 7(c): FileManifest MetaDataRatio vs ECS", &|r| {
         format!("{:.3e}", r.metrics.file_manifest_metadata_ratio)
     });
-    panel("Fig 7(d): Total MetaDataRatio vs ECS", &|r| {
-        format!("{:.3e}", r.metrics.metadata_ratio)
-    });
+    panel("Fig 7(d): Total MetaDataRatio vs ECS", &|r| format!("{:.3e}", r.metrics.metadata_ratio));
 
     cli.write_json("fig7.json", &results);
+    cli.write_internals("fig7_internals.json");
 }

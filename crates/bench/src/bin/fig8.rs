@@ -13,15 +13,19 @@ fn main() {
     for kind in EngineKind::FIGURE_SET {
         for ecs in ECS_SWEEP {
             eprintln!("fig8: {} @ ECS {ecs}", kind.label());
-            results.push(run_engine(kind, &corpus, scaled_config(ecs, cli.sd, corpus.total_bytes())));
+            results.push(run_engine(
+                kind,
+                &corpus,
+                scaled_config(ecs, cli.sd, corpus.total_bytes()),
+            ));
         }
     }
 
-    let curves = |title: &str, x: &dyn Fn(&RunResult) -> String, y: &dyn Fn(&RunResult) -> String| {
-        let rows: Vec<Vec<String>> = results
-            .iter()
-            .map(|r| vec![r.engine.clone(), r.ecs.to_string(), x(r), y(r)])
-            .collect();
+    let curves = |title: &str,
+                  x: &dyn Fn(&RunResult) -> String,
+                  y: &dyn Fn(&RunResult) -> String| {
+        let rows: Vec<Vec<String>> =
+            results.iter().map(|r| vec![r.engine.clone(), r.ecs.to_string(), x(r), y(r)]).collect();
         print_table(title, &["algorithm", "ECS (B)", "x", "y"], &rows);
     };
 
@@ -64,4 +68,5 @@ fn main() {
     );
 
     cli.write_json("fig8.json", &results);
+    cli.write_internals("fig8_internals.json");
 }

@@ -9,8 +9,7 @@
 use mhd_bench::{print_table, scaled_config, Cli, EngineKind};
 use mhd_core::restore;
 use mhd_core::{
-    BimodalEngine, CdcEngine, Deduplicator, FbcEngine, MhdEngine, SparseIndexEngine,
-    SubChunkEngine,
+    BimodalEngine, CdcEngine, Deduplicator, FbcEngine, MhdEngine, SparseIndexEngine, SubChunkEngine,
 };
 use mhd_store::{MemBackend, Substrate};
 use serde_json::json;
@@ -88,4 +87,5 @@ fn main() {
     println!("\nlower is better everywhere; restore reads are one access per recipe extent");
 
     cli.write_json("restore_cost.json", &js);
+    cli.write_internals("restore_cost_internals.json");
 }

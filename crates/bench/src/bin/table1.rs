@@ -30,13 +30,8 @@ fn main() {
             EngineKind::Cdc => Algorithm::Cdc,
             EngineKind::SparseIndexing | EngineKind::Fbc => unreachable!("not in TABLE_SET"),
         };
-        let sym = Symbols {
-            n,
-            d,
-            l: run.report.dup_slices,
-            f: run.report.files,
-            sd: cli.sd as u64,
-        };
+        let sym =
+            Symbols { n, d, l: run.report.dup_slices, f: run.report.files, sd: cli.sd as u64 };
         let model = analysis::metadata_model(algo, sym);
         let ledger = &run.report.ledger;
         rows.push(vec![
@@ -48,7 +43,8 @@ fn main() {
             model.manifest_bytes.to_string(),
             ledger.manifest_bytes.to_string(),
             model.total_bytes().to_string(),
-            (ledger.total_metadata_bytes() - ledger.inodes_file_manifests * 256
+            (ledger.total_metadata_bytes()
+                - ledger.inodes_file_manifests * 256
                 - ledger.file_manifest_bytes)
                 .to_string(),
         ]);
@@ -80,4 +76,5 @@ fn main() {
     );
 
     cli.write_json("table1.json", &js);
+    cli.write_internals("table1_internals.json");
 }

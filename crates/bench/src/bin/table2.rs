@@ -41,11 +41,7 @@ fn main() {
             format!("{}/{}", model.manifest_output, stats.manifest_output),
             format!("{}/{}", model.manifest_input, stats.manifest_input),
             format!("{}/{}", model.big_chunk_query, stats.big_chunk_query),
-            format!(
-                "{}/{}",
-                model.total_with_bloom(sup_small, sup_big),
-                stats.total_with_bloom()
-            ),
+            format!("{}/{}", model.total_with_bloom(sup_small, sup_big), stats.total_with_bloom()),
         ]);
         js.push(json!({
             "algorithm": algo.label(),
@@ -74,4 +70,5 @@ fn main() {
     );
 
     cli.write_json("table2.json", &js);
+    cli.write_internals("table2_internals.json");
 }

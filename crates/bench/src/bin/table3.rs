@@ -31,4 +31,5 @@ fn main() {
     println!("\npaper: ~0.01% of the input size; smaller ECS -> more chunks -> more hooks");
 
     cli.write_json("table3.json", &js);
+    cli.write_internals("table3_internals.json");
 }

@@ -37,4 +37,5 @@ fn main() {
     println!("\npaper: 0.007%-0.02% of input; grows as SD shrinks and as ECS shrinks");
 
     cli.write_json("table4.json", &js);
+    cli.write_internals("table4_internals.json");
 }

@@ -36,4 +36,5 @@ fn main() {
     println!("\npaper: loads shrink as ECS grows; smaller SD loads slightly more");
 
     cli.write_json("table5.json", &js);
+    cli.write_internals("table5_internals.json");
 }

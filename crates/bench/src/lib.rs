@@ -90,6 +90,8 @@ pub struct Cli {
     pub sd: usize,
     /// Output directory for JSON results.
     pub out: PathBuf,
+    /// Also dump the `mhd-obs` internal-metrics snapshot (`--internals`).
+    pub internals: bool,
 }
 
 impl Cli {
@@ -101,6 +103,7 @@ impl Cli {
             seed: 42,
             sd: 16,
             out: PathBuf::from("results"),
+            internals: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -115,8 +118,11 @@ impl Cli {
                 "--seed" => cli.seed = value().parse().expect("--seed takes an integer"),
                 "--sd" => cli.sd = value().parse().expect("--sd takes an integer"),
                 "--out" => cli.out = PathBuf::from(value()),
+                "--internals" => cli.internals = true,
                 "--help" | "-h" => {
-                    eprintln!("usage: [--bytes N[M|G]] [--seed N] [--sd N] [--out DIR]");
+                    eprintln!(
+                        "usage: [--bytes N[M|G]] [--seed N] [--sd N] [--out DIR] [--internals]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -155,6 +161,16 @@ impl Cli {
         std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
             .expect("write results");
         eprintln!("wrote {}", path.display());
+    }
+
+    /// With `--internals`, dumps the process-wide `mhd-obs` snapshot —
+    /// per-stage timers, cache hit/miss counters, Bloom probe stats, MHD
+    /// hook-hit/BME/HHR event counts — as a JSON side-channel next to the
+    /// exhibit's results. A no-op without the flag.
+    pub fn write_internals(&self, name: &str) {
+        if self.internals {
+            self.write_json(name, &mhd_obs::snapshot());
+        }
     }
 }
 
@@ -202,8 +218,12 @@ pub struct RunResult {
 /// Runs one engine over the corpus and computes the §V metrics.
 pub fn run_engine(kind: EngineKind, corpus: &Corpus, config: EngineConfig) -> RunResult {
     let report = match kind {
-        EngineKind::Mhd => drive(MhdEngine::new(MemBackend::new(), config).expect("config"), corpus),
-        EngineKind::Cdc => drive(CdcEngine::new(MemBackend::new(), config).expect("config"), corpus),
+        EngineKind::Mhd => {
+            drive(MhdEngine::new(MemBackend::new(), config).expect("config"), corpus)
+        }
+        EngineKind::Cdc => {
+            drive(CdcEngine::new(MemBackend::new(), config).expect("config"), corpus)
+        }
         EngineKind::Bimodal => {
             drive(BimodalEngine::new(MemBackend::new(), config).expect("config"), corpus)
         }

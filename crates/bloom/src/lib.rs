@@ -93,12 +93,21 @@ impl BloomFilter {
             self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
         }
         self.inserted += 1;
+        mhd_obs::counter!("bloom.inserts").inc();
     }
 
     /// Membership test: `false` is definitive, `true` may be a false
     /// positive.
     pub fn contains(&self, key: &ChunkHash) -> bool {
-        self.probes(key).all(|bit| self.bits[(bit / 64) as usize] >> (bit % 64) & 1 == 1)
+        let _timer = mhd_obs::span!("bloom.probe_ns");
+        mhd_obs::counter!("bloom.probes").inc();
+        let hit = self.probes(key).all(|bit| self.bits[(bit / 64) as usize] >> (bit % 64) & 1 == 1);
+        if hit {
+            mhd_obs::counter!("bloom.maybe_hits").inc();
+        } else {
+            mhd_obs::counter!("bloom.negatives").inc();
+        }
+        hit
     }
 
     /// RAM occupied by the bit array, in bytes (the paper's Table III-style

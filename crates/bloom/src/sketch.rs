@@ -44,9 +44,7 @@ impl CountMinSketch {
     fn index(&self, key: &ChunkHash, row: usize) -> usize {
         // Row-independent positions from the digest's two words
         // (double hashing, like the Bloom filter).
-        let h = key
-            .prefix_u64()
-            .wrapping_add((row as u64 + 1).wrapping_mul(key.second_u64() | 1));
+        let h = key.prefix_u64().wrapping_add((row as u64 + 1).wrapping_mul(key.second_u64() | 1));
         (h % self.width as u64) as usize
     }
 
@@ -62,10 +60,7 @@ impl CountMinSketch {
 
     /// Estimated occurrence count of `key` (never less than the truth).
     pub fn estimate(&self, key: &ChunkHash) -> u32 {
-        (0..self.rows.len())
-            .map(|row| self.rows[row][self.index(key, row)])
-            .min()
-            .unwrap_or(0)
+        (0..self.rows.len()).map(|row| self.rows[row][self.index(key, row)]).min().unwrap_or(0)
     }
 
     /// Total updates so far.

@@ -98,9 +98,14 @@ impl ManifestCache {
         let index = manifest.build_index();
         Self::index_insert(&mut self.by_hash, &manifest);
         let entry = CachedManifest { manifest, index, dirty };
+        mhd_obs::counter!("cache.manifest_inserts").inc();
         let evicted = self.lru.insert(entry.manifest.id, entry);
         evicted.map(|(_, old)| {
             Self::index_remove(&mut self.by_hash, &old.manifest);
+            mhd_obs::counter!("cache.manifest_evictions").inc();
+            if old.dirty {
+                mhd_obs::counter!("cache.dirty_writebacks").inc();
+            }
             (old.manifest, old.dirty)
         })
     }
@@ -108,7 +113,11 @@ impl ManifestCache {
     /// Finds which resident manifest (if any) contains `hash`, touching it
     /// as most-recently-used. Returns the manifest id and entry index.
     pub fn find_hash(&mut self, hash: &ChunkHash) -> Option<(ManifestId, u32)> {
-        let id = *self.by_hash.get(hash)?.last()?;
+        let Some(id) = self.by_hash.get(hash).and_then(|ids| ids.last().copied()) else {
+            mhd_obs::counter!("cache.manifest_misses").inc();
+            return None;
+        };
+        mhd_obs::counter!("cache.manifest_hits").inc();
         let cached = self.lru.get(&id).expect("by_hash index out of sync with LRU");
         let entry_idx = cached.find(hash).expect("per-manifest index out of sync");
         Some((id, entry_idx))
@@ -131,6 +140,7 @@ impl ManifestCache {
     pub fn mutate(&mut self, id: ManifestId, f: impl FnOnce(&mut Manifest)) -> bool {
         // Remove the old index contribution first (entry hashes change).
         let Some(cached) = self.lru.get_mut(&id) else { return false };
+        mhd_obs::counter!("cache.manifest_mutations").inc();
         let old = cached.manifest.clone();
         f(&mut cached.manifest);
         cached.index = cached.manifest.build_index();

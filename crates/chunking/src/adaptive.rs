@@ -152,7 +152,8 @@ mod tests {
     fn mobile_profile_prefers_fsp_more() {
         // Mid-entropy data: base64-ish alphabet (64 symbols → 6 bits/byte
         // uniform, push toward 7.3 with 160 symbols).
-        let mid: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) % 160) as u8).collect();
+        let mid: Vec<u8> =
+            (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) % 160) as u8).collect();
         let e = estimate_entropy(&mid);
         assert!(e > 7.2 && e < 7.9, "mid entropy {e}");
         let mobile = AdaptiveChunker::with_avg(1024, DeviceProfile::Mobile).unwrap();

@@ -78,15 +78,21 @@ pub trait Chunker {
 
     /// Convenience: full [`Span`] list tiling `data`.
     fn spans(&self, data: &[u8]) -> Vec<Span> {
-        let cuts = self.cut_points(data);
+        let cuts = {
+            let _timer = mhd_obs::span!("chunking.find_cuts_ns");
+            self.cut_points(data)
+        };
         let mut spans = Vec::with_capacity(cuts.len());
         let mut start = 0usize;
+        let sizes = mhd_obs::histogram!("chunking.chunk_bytes");
         for end in cuts {
             debug_assert!(end > start, "cut points must strictly increase");
+            sizes.record((end - start) as u64);
             spans.push(Span { offset: start, len: end - start });
             start = end;
         }
         debug_assert_eq!(start, data.len(), "chunks must tile the input");
+        mhd_obs::counter!("chunking.chunks").add(spans.len() as u64);
         spans
     }
 }

@@ -32,12 +32,8 @@ impl ChunkerParams {
     /// fingerprint is always warmed up before the first testable position.
     pub fn with_avg(avg: usize) -> Result<Self, ParamError> {
         let min = (avg / 4).max(1);
-        let params = ChunkerParams {
-            min,
-            avg,
-            max: avg.saturating_mul(4),
-            window: DEFAULT_WINDOW.min(min),
-        };
+        let params =
+            ChunkerParams { min, avg, max: avg.saturating_mul(4), window: DEFAULT_WINDOW.min(min) };
         params.validate()?;
         Ok(params)
     }

@@ -245,7 +245,7 @@ mod tests {
     #[test]
     fn direct_fingerprint_matches_manual() {
         let p = 0b1011u64; // degree 3
-        // One byte: fp = byte mod p.
+                           // One byte: fp = byte mod p.
         assert_eq!(direct_fingerprint(&[0b101], p), pmod(0b101, p));
         // Two bytes: fp = (b0 * x^8 + b1) mod p.
         let manual = pmod(((0b1u128) << 8) | 0b1, p);

@@ -59,7 +59,11 @@ impl SizeStats {
     }
 
     /// Convenience: chunk `data` with `chunker` and summarise.
-    pub fn measure<C: Chunker>(chunker: &C, data: &[u8], configured_max: usize) -> Option<SizeStats> {
+    pub fn measure<C: Chunker>(
+        chunker: &C,
+        data: &[u8],
+        configured_max: usize,
+    ) -> Option<SizeStats> {
         Self::from_spans(&chunker.spans(data), configured_max)
     }
 }

@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn main_divisor_cuts_match_cdc() {
         // Where the main divisor fires first, TTTD and plain CDC agree.
-        let data = random_data(100_000, 13);
+        let data = random_data(100_000, 17);
         let cdc = RabinChunker::with_avg(512).unwrap();
         let tttd = TttdChunker::with_avg(512).unwrap();
         // On fully random data hard cuts are rare, so most boundaries agree.

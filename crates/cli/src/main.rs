@@ -5,7 +5,7 @@
 //! mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]
 //! mhd restore <name> --store <store> -o <path>
 //! mhd ls             --store <store>
-//! mhd stats          --store <store>
+//! mhd stats          --store <store> [--internals]
 //! ```
 //!
 //! Each `backup` run is one backup stream (like one of the paper's daily
@@ -23,7 +23,7 @@ use session::Session;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store>\n  mhd verify         --store <store> [--deep]\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]"
+        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals]\n  mhd verify         --store <store> [--deep]\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]"
     );
     std::process::exit(2)
 }
@@ -203,17 +203,44 @@ fn cmd_compact(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `mhd stats --internals`: dump the `mhd-obs` metrics snapshot persisted
+/// by the last mutating command (backup/rm/gc/compact) as JSON. Metrics
+/// are process-local, so a read-only `stats` invocation has none of its
+/// own — the persisted snapshot is the interesting one.
+fn print_internals(session: &Session) -> CliResult {
+    let Some(snapshot) = session.load_internals() else {
+        return Err(
+            "no internals snapshot in this store yet; run a mutating command (e.g. `mhd backup`) first"
+                .into(),
+        );
+    };
+    println!("{}", serde_json::to_string_pretty(&snapshot)?);
+    Ok(())
+}
+
 fn cmd_stats(args: &[String]) -> CliResult {
     let store = store_path(args)?;
     let session = Session::open_readonly(&store)?;
+    if args.iter().any(|a| a == "--internals") {
+        return print_internals(&session);
+    }
     let report = session.report();
     println!("input bytes:      {}", report.input_bytes);
     println!("stored data:      {}", report.ledger.stored_data_bytes);
     println!("duplicate bytes:  {} in {} slices", report.dup_bytes, report.dup_slices);
     println!("metadata bytes:   {}", report.ledger.total_metadata_bytes());
-    println!("  hooks:          {} ({} inodes)", report.ledger.hook_bytes, report.ledger.inodes_hooks);
-    println!("  manifests:      {} ({} inodes)", report.ledger.manifest_bytes, report.ledger.inodes_manifests);
-    println!("  file recipes:   {} ({} inodes)", report.ledger.file_manifest_bytes, report.ledger.inodes_file_manifests);
+    println!(
+        "  hooks:          {} ({} inodes)",
+        report.ledger.hook_bytes, report.ledger.inodes_hooks
+    );
+    println!(
+        "  manifests:      {} ({} inodes)",
+        report.ledger.manifest_bytes, report.ledger.inodes_manifests
+    );
+    println!(
+        "  file recipes:   {} ({} inodes)",
+        report.ledger.file_manifest_bytes, report.ledger.inodes_file_manifests
+    );
     println!("HHR re-chunks:    {}", report.hhr_count);
     if report.input_bytes > 0 {
         println!(

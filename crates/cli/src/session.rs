@@ -102,7 +102,23 @@ impl Session {
         let (state_path, meta_path) = Self::paths(&self.root);
         std::fs::write(&state_path, serde_json::to_vec(&self.engine.export_state())?)?;
         std::fs::write(&meta_path, serde_json::to_vec(&self.meta)?)?;
+        // Persist this process's internal metrics so `mhd stats
+        // --internals` can show what the last mutating run did.
+        let snap = mhd_obs::snapshot();
+        if !snap.is_empty() {
+            std::fs::write(
+                self.root.join("session/internals.json"),
+                serde_json::to_string_pretty(&snap)?,
+            )?;
+        }
         Ok(())
+    }
+
+    /// The `mhd-obs` snapshot persisted by the last mutating command
+    /// (`None` when no such command has run against this store).
+    pub fn load_internals(&self) -> Option<mhd_obs::Snapshot> {
+        let data = std::fs::read(self.root.join("session/internals.json")).ok()?;
+        serde_json::from_slice(&data).ok()
     }
 
     /// Restores one file by recipe name.
@@ -185,10 +201,7 @@ impl WithSession for DedupReport {
 
 /// Builds a backup stream from a real directory: files are read in sorted
 /// order, paths become recipe names under `label/`.
-pub fn snapshot_from_dir(
-    dir: &Path,
-    label: &str,
-) -> Result<Snapshot, Box<dyn std::error::Error>> {
+pub fn snapshot_from_dir(dir: &Path, label: &str) -> Result<Snapshot, Box<dyn std::error::Error>> {
     let mut paths: Vec<PathBuf> = Vec::new();
     collect_files(dir, &mut paths)?;
     paths.sort();

@@ -176,9 +176,7 @@ impl IoModel {
     /// [`io_model`] already reflects this in `small_chunk_query` /
     /// `big_chunk_query`).
     pub fn total_with_bloom(&self, suppressed_small: u64, suppressed_big: u64) -> u64 {
-        self.total_without_bloom()
-            .saturating_sub(suppressed_small)
-            .saturating_sub(suppressed_big)
+        self.total_without_bloom().saturating_sub(suppressed_small).saturating_sub(suppressed_big)
     }
 }
 
@@ -270,10 +268,7 @@ mod tests {
         assert_eq!(mhd.total_bytes(), 512 * s.f + 350 * (s.n / s.sd) + 148 * s.l);
         // SubChunk: 512F + 20F + 256N/SD + 36N + 28N/SD.
         let sub = metadata_model(Algorithm::SubChunk, s);
-        assert_eq!(
-            sub.total_bytes(),
-            532 * s.f + 284 * (s.n / s.sd) + 36 * s.n
-        );
+        assert_eq!(sub.total_bytes(), 532 * s.f + 284 * (s.n / s.sd) + 36 * s.n);
         // Bimodal: 512F + 276·hooks + 36N/SD + 72L(SD-1).
         let bim = metadata_model(Algorithm::Bimodal, s);
         let hooks = s.n / s.sd + 2 * s.l * (s.sd - 1);
@@ -315,7 +310,10 @@ mod tests {
         let bim = io_model(Algorithm::Bimodal, s);
         assert_eq!(
             bim.total_without_bloom(),
-            s.f + (s.n / s.sd + 2 * (s.sd - 1) * s.l) + s.l + s.f + s.l
+            s.f + (s.n / s.sd + 2 * (s.sd - 1) * s.l)
+                + s.l
+                + s.f
+                + s.l
                 + s.n / s.sd
                 + (2 * s.sd + 1) * s.l
         );

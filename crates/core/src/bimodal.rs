@@ -48,8 +48,8 @@ impl<B: Backend> BimodalEngine<B> {
     /// Creates an engine over `backend`.
     pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
         config.validate().map_err(EngineError::Config)?;
-        let small_chunker = RabinChunker::with_avg(config.ecs)
-            .map_err(|e| EngineError::Config(e.to_string()))?;
+        let small_chunker =
+            RabinChunker::with_avg(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
         let big_chunker = RabinChunker::with_avg(config.big_chunk_size())
             .map_err(|e| EngineError::Config(e.to_string()))?;
         Ok(BimodalEngine {

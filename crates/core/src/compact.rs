@@ -109,13 +109,8 @@ pub fn compact<B: Backend>(
             })
             .collect();
         let total: u64 = manifest.entries.iter().map(|e| e.size).sum();
-        let live_bytes: u64 = manifest
-            .entries
-            .iter()
-            .zip(&live)
-            .filter(|(_, &l)| l)
-            .map(|(e, _)| e.size)
-            .sum();
+        let live_bytes: u64 =
+            manifest.entries.iter().zip(&live).filter(|(_, &l)| l).map(|(e, _)| e.size).sum();
         if total == 0 || live_bytes == 0 || (live_bytes as f64 / total as f64) >= threshold {
             report.containers_skipped += 1;
             continue;
@@ -260,8 +255,7 @@ mod tests {
         // Remaining day restores byte-exactly and the store stays sound.
         for snapshot in corpus.snapshots.iter().filter(|s| s.day == 3) {
             for file in &snapshot.files {
-                let restored =
-                    crate::restore::restore_file(e.substrate_mut(), &file.path).unwrap();
+                let restored = crate::restore::restore_file(e.substrate_mut(), &file.path).unwrap();
                 assert_eq!(restored, file.data, "{}", file.path);
             }
         }

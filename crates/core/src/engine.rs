@@ -72,6 +72,8 @@ impl HashedChunk {
 /// rayon (chunk boundaries are sequential by nature; hashing is not).
 pub fn chunk_and_hash(chunker: &RabinChunker, data: &Bytes) -> Vec<HashedChunk> {
     let spans = chunker.spans(data);
+    let _timer = mhd_obs::span!("stage.hashing_ns");
+    mhd_obs::counter!("hashing.chunks").add(spans.len() as u64);
     spans
         .par_iter()
         .map(|s| HashedChunk {

@@ -78,12 +78,7 @@ fn single_byte_files() {
     let snap = snapshot("tiny", vec![vec![7], vec![7], vec![8]]);
     for report in run_all(&[snap], EngineConfig::new(512, 4)) {
         assert_eq!(report.input_bytes, 3, "{}", report.algorithm);
-        assert_eq!(
-            report.ledger.stored_data_bytes + report.dup_bytes,
-            3,
-            "{}",
-            report.algorithm
-        );
+        assert_eq!(report.ledger.stored_data_bytes + report.dup_bytes, 3, "{}", report.algorithm);
     }
 }
 
@@ -181,8 +176,7 @@ fn mhd_buffer_boundary_sizes() {
         e.process_snapshot(&snap).unwrap();
         let r = e.finish().unwrap();
         assert_eq!(r.ledger.stored_data_bytes, (kib << 10) as u64, "{kib} KiB");
-        let restored =
-            crate::restore::restore_file(e.substrate_mut(), "b/f0").unwrap();
+        let restored = crate::restore::restore_file(e.substrate_mut(), "b/f0").unwrap();
         assert_eq!(restored.len(), kib << 10);
     }
 }
@@ -202,10 +196,8 @@ fn duplicate_detection_is_order_sensitive_but_complete() {
         &[snapshot("a", vec![x.clone()]), snapshot("b", vec![y.clone()])],
         EngineConfig::new(512, 4),
     );
-    let backward = run_all(
-        &[snapshot("a", vec![y]), snapshot("b", vec![x])],
-        EngineConfig::new(512, 4),
-    );
+    let backward =
+        run_all(&[snapshot("a", vec![y]), snapshot("b", vec![x])], EngineConfig::new(512, 4));
     for (f, b) in forward.iter().zip(&backward) {
         let diff = f.ledger.stored_data_bytes.abs_diff(b.ledger.stored_data_bytes);
         assert!(

@@ -56,8 +56,8 @@ impl<B: Backend> FbcEngine<B> {
     /// Creates an engine over `backend`.
     pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
         config.validate().map_err(EngineError::Config)?;
-        let small_chunker = RabinChunker::with_avg(config.ecs)
-            .map_err(|e| EngineError::Config(e.to_string()))?;
+        let small_chunker =
+            RabinChunker::with_avg(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
         let big_chunker = RabinChunker::with_avg(config.big_chunk_size())
             .map_err(|e| EngineError::Config(e.to_string()))?;
         Ok(FbcEngine {
@@ -135,9 +135,8 @@ impl<B: Backend> FbcEngine<B> {
             // data that have been previously processed".
             let big_bytes = Bytes::copy_from_slice(b.slice(data));
             let smalls = chunk_and_hash(&self.small_chunker, &big_bytes);
-            let frequent = smalls
-                .iter()
-                .any(|s| self.sketch.estimate(&s.hash) >= FREQUENCY_THRESHOLD);
+            let frequent =
+                smalls.iter().any(|s| self.sketch.estimate(&s.hash) >= FREQUENCY_THRESHOLD);
             for s in &smalls {
                 self.sketch.add(&s.hash);
             }

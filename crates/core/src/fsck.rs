@@ -90,9 +90,9 @@ pub fn check_store<B: Backend>(substrate: &mut Substrate<B>) -> IntegrityReport 
 
         for (i, e) in manifest.entries.iter().enumerate() {
             match chunk_sizes.get(&e.container.name()) {
-                None => report
-                    .problems
-                    .push(format!("manifest {name} entry {i}: missing container")),
+                None => {
+                    report.problems.push(format!("manifest {name} entry {i}: missing container"))
+                }
                 Some(&size) if e.end() > size => report.problems.push(format!(
                     "manifest {name} entry {i}: range {}..{} exceeds container size {size}",
                     e.offset,
@@ -103,8 +103,7 @@ pub fn check_store<B: Backend>(substrate: &mut Substrate<B>) -> IntegrityReport 
         }
         if manifest.format == ManifestFormat::HookFlags {
             if let Some(first) = manifest.entries.first() {
-                let container_len =
-                    chunk_sizes.get(&first.container.name()).copied().unwrap_or(0);
+                let container_len = chunk_sizes.get(&first.container.name()).copied().unwrap_or(0);
                 if let Err(e) = manifest.check_tiling(container_len) {
                     report.problems.push(format!("manifest {name}: tiling violated: {e}"));
                 }
@@ -141,9 +140,7 @@ pub fn check_store<B: Backend>(substrate: &mut Substrate<B>) -> IntegrityReport 
             None => report.problems.push(format!("hook {name}: dangling manifest {mid:?}")),
             Some(m) => {
                 if !m.entries.iter().any(|e| e.hash == hash) {
-                    report
-                        .problems
-                        .push(format!("hook {name}: hash absent from manifest {mid:?}"));
+                    report.problems.push(format!("hook {name}: hash absent from manifest {mid:?}"));
                 }
             }
         }
@@ -208,9 +205,9 @@ pub fn scrub<B: Backend>(substrate: &mut Substrate<B>) -> IntegrityReport {
             }
         };
         if sha1(&data) != expected {
-            report.problems.push(format!(
-                "chunk {name}: content hash mismatch (expected {expected})"
-            ));
+            report
+                .problems
+                .push(format!("chunk {name}: content hash mismatch (expected {expected})"));
         }
     }
     report

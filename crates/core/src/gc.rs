@@ -17,9 +17,7 @@
 //! The ledger is adjusted so post-GC metrics stay truthful.
 
 use mhd_hash::FxHashSet;
-use mhd_store::{
-    Backend, DiskChunkId, FileKind, Manifest, ManifestId, StoreResult, Substrate,
-};
+use mhd_store::{Backend, DiskChunkId, FileKind, Manifest, ManifestId, StoreResult, Substrate};
 
 /// What one collection pass freed.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -104,8 +102,7 @@ pub fn collect<B: Backend>(substrate: &mut Substrate<B>) -> StoreResult<GcReport
         );
         let data = substrate.backend_mut().get(FileKind::Manifest, &name)?;
         let mut manifest = Manifest::decode(id, &data)?;
-        let dead_count =
-            manifest.entries.iter().filter(|e| dead.contains(&e.container)).count();
+        let dead_count = manifest.entries.iter().filter(|e| dead.contains(&e.container)).count();
         if dead_count == 0 {
             continue;
         }
@@ -215,8 +212,7 @@ mod tests {
                 if file.path.starts_with("m0/d0") {
                     continue;
                 }
-                let restored =
-                    crate::restore::restore_file(e.substrate_mut(), &file.path).unwrap();
+                let restored = crate::restore::restore_file(e.substrate_mut(), &file.path).unwrap();
                 assert_eq!(restored, file.data, "{}", file.path);
             }
         }

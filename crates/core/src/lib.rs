@@ -61,10 +61,10 @@ pub mod shard;
 
 mod bimodal;
 mod cdc_engine;
-#[cfg(test)]
-mod engine_tests;
 mod config;
 mod engine;
+#[cfg(test)]
+mod engine_tests;
 mod fbc;
 mod mhd;
 mod sparse_index;

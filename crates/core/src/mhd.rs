@@ -38,8 +38,7 @@ use mhd_workload::Snapshot;
 
 use crate::config::{EngineConfig, HhrDupGranularity, HookIndex};
 use crate::engine::{
-    chunk_and_hash, DedupReport, Deduplicator, EngineError, EngineResult, HashedChunk,
-    SliceTracker,
+    chunk_and_hash, DedupReport, Deduplicator, EngineError, EngineResult, HashedChunk, SliceTracker,
 };
 
 /// The BF-MHD engine (Bloom-filter-based MHD, the variant evaluated in §V).
@@ -104,8 +103,8 @@ impl<B: Backend> MhdEngine<B> {
     /// Creates an engine over `backend` with the given configuration.
     pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
         config.validate().map_err(EngineError::Config)?;
-        let chunker = RabinChunker::with_avg(config.ecs)
-            .map_err(|e| EngineError::Config(e.to_string()))?;
+        let chunker =
+            RabinChunker::with_avg(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
         Ok(MhdEngine {
             chunker,
             substrate: Substrate::new(backend),
@@ -153,12 +152,22 @@ impl<B: Backend> MhdEngine<B> {
                     return Ok(None);
                 }
                 match self.substrate.lookup_hook(hash)? {
-                    Some(mid) => mid,
-                    None => return Ok(None), // Bloom false positive
+                    Some(mid) => {
+                        mhd_obs::counter!("mhd.hook_hits").inc();
+                        mid
+                    }
+                    None => {
+                        mhd_obs::counter!("mhd.bloom_false_positives").inc();
+                        return Ok(None);
+                    }
                 }
             }
             HookIndex::SparseIndex => match self.sparse_hooks.get(&hash) {
-                Some(&mid) => mid, // RAM lookup: no disk probe charged
+                Some(&mid) => {
+                    // RAM lookup: no disk probe charged.
+                    mhd_obs::counter!("mhd.hook_hits").inc();
+                    mid
+                }
                 None => return Ok(None),
             },
         };
@@ -216,11 +225,7 @@ impl<B: Backend> MhdEngine<B> {
             });
         }
         self.chunks_stored += run.len() as u64;
-        fm.push(Extent {
-            container,
-            offset: off0,
-            len: (run[run.len() - 1].end() - first.offset),
-        });
+        fm.push(Extent { container, offset: off0, len: (run[run.len() - 1].end() - first.offset) });
     }
 
     /// Drains the first `count` chunks of the buffer through SHM.
@@ -249,11 +254,7 @@ impl<B: Backend> MhdEngine<B> {
     /// tail, matching whole incoming chunks only (the straddling chunk is
     /// new data and stays stored intact — the paper's Fig. 6, where Chunk
     /// N3 is not split).
-    fn match_suffix(
-        old: &[u8],
-        buffer: &VecDeque<HashedChunk>,
-        data: &Bytes,
-    ) -> ByteMatch {
+    fn match_suffix(old: &[u8], buffer: &VecDeque<HashedChunk>, data: &Bytes) -> ByteMatch {
         let mut matched_chunks = 0usize;
         let mut matched_bytes = 0u64;
         for chunk in buffer.iter().rev() {
@@ -261,8 +262,8 @@ impl<B: Backend> MhdEngine<B> {
             if matched_bytes + len > old.len() as u64 {
                 break;
             }
-            let old_tail =
-                &old[old.len() - (matched_bytes + len) as usize..old.len() - matched_bytes as usize];
+            let old_tail = &old
+                [old.len() - (matched_bytes + len) as usize..old.len() - matched_bytes as usize];
             if old_tail != chunk.slice(data) {
                 break;
             }
@@ -315,6 +316,8 @@ impl<B: Backend> MhdEngine<B> {
         let edge_len = if self.config.mhd.edge_hash { edge_len.min(nondup) } else { 0 };
         let rem_len = nondup - edge_len;
         self.hhr_count += 1;
+        mhd_obs::counter!("mhd.hhr_splits").inc();
+        mhd_obs::histogram!("mhd.hhr_dup_bytes").record(dup_bytes);
 
         let mut parts: Vec<(u64, u64, bool)> = Vec::with_capacity(3); // (rel_off, len, is_dup)
         if backward {
@@ -457,8 +460,7 @@ impl<B: Backend> MhdEngine<B> {
             }
             // Straddle: split the entry (HHR).
             let edge_len = buffer.back().map(|c| c.len as u64).unwrap_or(0);
-            let replacement =
-                self.hhr_split(e, &old, m.matched_bytes, &matched, edge_len, true);
+            let replacement = self.hhr_split(e, &old, m.matched_bytes, &matched, edge_len, true);
             let kk = k as usize;
             self.cache.mutate(mid, |man| {
                 man.entries.splice(kk..kk + 1, replacement);
@@ -559,6 +561,7 @@ impl<B: Backend> MhdEngine<B> {
     fn process_file(&mut self, path: &str, data: &Bytes) -> EngineResult<()> {
         self.input_bytes += data.len() as u64;
         let chunks = chunk_and_hash(&self.chunker, data);
+        let _timer = mhd_obs::span!("stage.dedup_ns");
 
         let mut builder = self.substrate.new_disk_chunk();
         let mut entries: Vec<ManifestEntry> = Vec::new();
@@ -596,12 +599,17 @@ impl<B: Backend> MhdEngine<B> {
                     };
                     debug_assert_eq!(hit_entry.size, c.len as u64, "hash hit with size mismatch");
 
-                    let (bme_extents_rev, bme_bytes, bme_chunks) = if self.config.mhd.backward_extension
-                    {
-                        self.backward_extend(mid, hit_idx, &mut buffer, data)?
-                    } else {
-                        (Vec::new(), 0, 0)
-                    };
+                    let (bme_extents_rev, bme_bytes, bme_chunks) =
+                        if self.config.mhd.backward_extension {
+                            self.backward_extend(mid, hit_idx, &mut buffer, data)?
+                        } else {
+                            (Vec::new(), 0, 0)
+                        };
+                    if bme_chunks > 0 {
+                        mhd_obs::counter!("mhd.bme_extensions").inc();
+                        mhd_obs::counter!("mhd.bme_chunks").add(bme_chunks);
+                        mhd_obs::counter!("mhd.bme_bytes").add(bme_bytes);
+                    }
                     // Everything left in the buffer is confirmed
                     // non-duplicate; it precedes the dup region in file
                     // order, so flush it first.
@@ -639,6 +647,11 @@ impl<B: Backend> MhdEngine<B> {
                     } else {
                         (Vec::new(), 0, 0)
                     };
+                    if consumed > 0 {
+                        mhd_obs::counter!("mhd.fme_extensions").inc();
+                        mhd_obs::counter!("mhd.fme_chunks").add(consumed as u64);
+                        mhd_obs::counter!("mhd.fme_bytes").add(fme_bytes);
+                    }
                     for ext in fme_extents {
                         fm.push(ext);
                     }
@@ -721,11 +734,7 @@ impl<B: Backend> MhdEngine<B> {
         MhdState {
             substrate: self.substrate.export_state(),
             bloom: self.bloom.to_bytes(),
-            sparse_hooks: self
-                .sparse_hooks
-                .iter()
-                .map(|(h, m)| (h.to_hex(), m.0))
-                .collect(),
+            sparse_hooks: self.sparse_hooks.iter().map(|(h, m)| (h.to_hex(), m.0)).collect(),
             input_bytes: self.input_bytes,
             dup_slices: self.slice.slices,
             dup_bytes: self.slice.dup_bytes,
@@ -956,7 +965,7 @@ mod tests {
     }
 
     #[test]
-    fn hhr_bounded_by_2l(){
+    fn hhr_bounded_by_2l() {
         let mut e = engine(512, 8);
         let base = random(128 << 10, 4);
         let mut day2 = base.clone();
@@ -1070,8 +1079,7 @@ mod tests {
             e.finish().unwrap()
         };
         let full = run(crate::MhdOptions::default());
-        let fwd_only =
-            run(crate::MhdOptions { backward_extension: false, ..Default::default() });
+        let fwd_only = run(crate::MhdOptions { backward_extension: false, ..Default::default() });
         assert!(full.dup_bytes >= fwd_only.dup_bytes);
     }
 }

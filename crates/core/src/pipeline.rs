@@ -4,7 +4,7 @@
 //! everything stored before it), but the CPU-heavy front half — content-
 //! defined chunking and SHA-1 — is not. This module overlaps the two: a
 //! producer thread chunks and hashes upcoming snapshots (itself fanning the
-//! hashing out over rayon, see [`chunk_and_hash`]) while the consumer runs
+//! hashing out over rayon, see [`crate::engine::chunk_and_hash`]) while the consumer runs
 //! the engine on the current one, connected by a bounded crossbeam channel
 //! (bounded so memory stays proportional to `prefetch` snapshots).
 //!
@@ -37,25 +37,29 @@ pub fn run_pipelined<D: Deduplicator>(
         // streaming corpus source) ahead of the dedup cursor.
         let producer = scope.spawn(move || {
             for snapshot in snapshots {
+                let _timer = mhd_obs::span!("pipeline.producer_send_ns");
                 if tx.send(snapshot.clone()).is_err() {
                     return; // consumer bailed on error
                 }
+                mhd_obs::counter!("pipeline.snapshots_staged").inc();
             }
         });
 
         let mut processed = 0usize;
         let mut result: EngineResult<()> = Ok(());
         for snapshot in rx.iter() {
+            let _timer = mhd_obs::span!("pipeline.consumer_ns");
             if let Err(e) = engine.process_snapshot(&snapshot) {
                 result = Err(e);
                 break;
             }
+            mhd_obs::counter!("pipeline.snapshots_processed").inc();
             processed += 1;
         }
         drop(rx);
-        producer.join().map_err(|_| {
-            EngineError::Config("pipeline producer thread panicked".to_string())
-        })?;
+        producer
+            .join()
+            .map_err(|_| EngineError::Config("pipeline producer thread panicked".to_string()))?;
         result.map(|()| processed)
     })
 }

@@ -7,10 +7,7 @@ use mhd_store::{Backend, FileManifest, StoreResult, Substrate};
 use mhd_workload::Corpus;
 
 /// Reconstructs one file by concatenating its recipe's extents.
-pub fn restore_file<B: Backend>(
-    substrate: &mut Substrate<B>,
-    name: &str,
-) -> StoreResult<Vec<u8>> {
+pub fn restore_file<B: Backend>(substrate: &mut Substrate<B>, name: &str) -> StoreResult<Vec<u8>> {
     let fm = substrate.load_file_manifest(name)?;
     let mut out = Vec::with_capacity(fm.total_len() as usize);
     for extent in fm.extents() {

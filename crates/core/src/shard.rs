@@ -144,10 +144,7 @@ mod tests {
         let (merged, per_shard) = fleet.finish().unwrap();
         assert_eq!(merged.input_bytes, corpus.total_bytes());
         assert_eq!(per_shard.len(), 3);
-        assert_eq!(
-            merged.ledger.stored_data_bytes + merged.dup_bytes,
-            merged.input_bytes
-        );
+        assert_eq!(merged.ledger.stored_data_bytes + merged.dup_bytes, merged.input_bytes);
 
         // Every file restores from its machine's shard.
         for snapshot in &corpus.snapshots {

@@ -26,8 +26,7 @@ use mhd_workload::Snapshot;
 
 use crate::config::EngineConfig;
 use crate::engine::{
-    chunk_and_hash, DedupReport, Deduplicator, EngineError, EngineResult, HashedChunk,
-    SliceTracker,
+    chunk_and_hash, DedupReport, Deduplicator, EngineError, EngineResult, HashedChunk, SliceTracker,
 };
 
 /// One chunk queued into the current segment, tagged with its source file.
@@ -56,8 +55,8 @@ impl<B: Backend> SparseIndexEngine<B> {
     /// Creates an engine over `backend`.
     pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
         config.validate().map_err(EngineError::Config)?;
-        let chunker = RabinChunker::with_avg(config.ecs)
-            .map_err(|e| EngineError::Config(e.to_string()))?;
+        let chunker =
+            RabinChunker::with_avg(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
         Ok(SparseIndexEngine {
             chunker,
             substrate: Substrate::new(backend),
@@ -134,9 +133,11 @@ impl<B: Backend> SparseIndexEngine<B> {
             }
             let cached = self.cache.peek(*mid).expect("champion resident");
             for e in &cached.manifest().entries {
-                dedup
-                    .entry(e.hash)
-                    .or_insert(Extent { container: e.container, offset: e.offset, len: e.size });
+                dedup.entry(e.hash).or_insert(Extent {
+                    container: e.container,
+                    offset: e.offset,
+                    len: e.size,
+                });
             }
         }
 
@@ -205,7 +206,8 @@ impl<B: Backend> Deduplicator for SparseIndexEngine<B> {
     fn process_snapshot(&mut self, snapshot: &Snapshot) -> EngineResult<()> {
         let start = Instant::now();
         let files: Vec<Bytes> = snapshot.files.iter().map(|f| f.data.clone()).collect();
-        let mut fms: Vec<FileManifest> = snapshot.files.iter().map(|_| FileManifest::new()).collect();
+        let mut fms: Vec<FileManifest> =
+            snapshot.files.iter().map(|_| FileManifest::new()).collect();
 
         let mut seg: Vec<SegChunk> = Vec::new();
         let mut seg_bytes = 0usize;
@@ -299,10 +301,7 @@ mod tests {
         assert_eq!(r.ledger.stored_data_bytes, 128 << 10);
         assert_eq!(r.dup_bytes, 128 << 10);
         // Champions resolved from disk or from the manifest cache.
-        assert!(
-            r.stats.manifest_input + r.stats.cache_hits > 0,
-            "champions must be consulted"
-        );
+        assert!(r.stats.manifest_input + r.stats.cache_hits > 0, "champions must be consulted");
     }
 
     #[test]

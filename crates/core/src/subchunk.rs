@@ -57,8 +57,8 @@ impl<B: Backend> SubChunkEngine<B> {
     /// Creates an engine over `backend`.
     pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
         config.validate().map_err(EngineError::Config)?;
-        let small_chunker = RabinChunker::with_avg(config.ecs)
-            .map_err(|e| EngineError::Config(e.to_string()))?;
+        let small_chunker =
+            RabinChunker::with_avg(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
         let big_chunker = RabinChunker::with_avg(config.big_chunk_size())
             .map_err(|e| EngineError::Config(e.to_string()))?;
         Ok(SubChunkEngine {
@@ -154,8 +154,7 @@ impl<B: Backend> SubChunkEngine<B> {
                 } else {
                     self.slice.on_nondup();
                     let offset = builder.append(s.slice(&big_bytes));
-                    let extent =
-                        Extent { container: builder.id(), offset, len: s.len as u64 };
+                    let extent = Extent { container: builder.id(), offset, len: s.len as u64 };
                     entries.push(ManifestEntry {
                         hash: s.hash,
                         container: builder.id(),
@@ -182,8 +181,11 @@ impl<B: Backend> SubChunkEngine<B> {
                 self.bloom.insert(&e.hash);
             }
             let first_hash = entries[0].hash;
-            let manifest =
-                Manifest { id: mid, format: ManifestFormat::Grouped, entries: std::mem::take(&mut entries) };
+            let manifest = Manifest {
+                id: mid,
+                format: ManifestFormat::Grouped,
+                entries: std::mem::take(&mut entries),
+            };
             self.substrate.write_manifest(&manifest)?;
             self.substrate.write_hook(first_hash, mid)?;
             if let Some((evicted, dirty)) = self.cache.insert(manifest, false) {
@@ -235,7 +237,9 @@ impl<B: Backend> Deduplicator for SubChunkEngine<B> {
             }
         }
         let big_index_ram: u64 = self
-            .big_index.values().map(|v| 20 + (v.len() * std::mem::size_of::<Extent>()) as u64)
+            .big_index
+            .values()
+            .map(|v| 20 + (v.len() * std::mem::size_of::<Extent>()) as u64)
             .sum();
         Ok(DedupReport {
             algorithm: self.name().to_string(),
@@ -344,8 +348,7 @@ mod tests {
 
         // CDC with its full per-chunk index on the same input is the
         // reference for what was findable.
-        let mut cdc =
-            crate::CdcEngine::new(MemBackend::new(), EngineConfig::new(512, 8)).unwrap();
+        let mut cdc = crate::CdcEngine::new(MemBackend::new(), EngineConfig::new(512, 8)).unwrap();
         let orig2 = random(64 << 10, 4);
         cdc.process_snapshot(&snapshot("a", vec![orig2.clone()])).unwrap();
         cdc.process_snapshot(&snapshot("b", vec![random(64 << 10, 5)])).unwrap();

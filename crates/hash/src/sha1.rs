@@ -156,12 +156,8 @@ fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
                 w[t & 15] = x;
                 x
             };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add($f)
-                .wrapping_add(e)
-                .wrapping_add($k)
-                .wrapping_add(wt);
+            let tmp =
+                a.rotate_left(5).wrapping_add($f).wrapping_add(e).wrapping_add($k).wrapping_add(wt);
             e = d;
             d = c;
             c = b.rotate_left(30);
@@ -204,8 +200,14 @@ mod tests {
                 "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
             ),
             (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
-            (b"The quick brown fox jumps over the lazy dog", "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
-            (b"The quick brown fox jumps over the lazy cog", "de9f2c7fd25e1b3afad3e85a0bd17d9b100db4b3"),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy cog",
+                "de9f2c7fd25e1b3afad3e85a0bd17d9b100db4b3",
+            ),
         ];
         for (input, expect) in cases {
             assert_eq!(sha1(input).to_hex(), *expect, "input {:?}", input);

@@ -1,0 +1,93 @@
+//! No-op stand-ins, compiled when the `obs` feature is off.
+//!
+//! Every type is zero-sized and every method an empty `#[inline]` body, so
+//! instrumented call sites vanish entirely after optimization — the
+//! guarantee that lets library crates instrument unconditionally.
+
+use crate::Snapshot;
+
+/// No-op stand-in for the enabled [`Counter`](crate::Counter).
+#[derive(Debug)]
+pub struct Counter;
+
+static NOOP_COUNTER: Counter = Counter;
+
+impl Counter {
+    /// The shared no-op instance (what [`crate::counter!`] expands to).
+    #[inline]
+    pub fn noop() -> &'static Counter {
+        &NOOP_COUNTER
+    }
+
+    /// Does nothing.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always 0.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op stand-in for the enabled [`Histogram`](crate::Histogram).
+#[derive(Debug)]
+pub struct Histogram;
+
+static NOOP_HISTOGRAM: Histogram = Histogram;
+
+impl Histogram {
+    /// The shared no-op instance (what [`crate::histogram!`] expands to).
+    #[inline]
+    pub fn noop() -> &'static Histogram {
+        &NOOP_HISTOGRAM
+    }
+
+    /// Does nothing.
+    #[inline]
+    pub fn record(&self, _value: u64) {}
+
+    /// Always 0.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op stand-in for the enabled [`Span`](crate::Span): zero-sized, reads
+/// no clock.
+#[must_use = "a Span records on drop; binding it to `_` drops immediately"]
+#[derive(Debug)]
+pub struct Span;
+
+impl Span {
+    /// Returns the zero-sized span.
+    #[inline]
+    pub fn enter(_histogram: &'static Histogram) -> Span {
+        Span
+    }
+}
+
+/// Returns the shared no-op counter, ignoring `name`.
+#[inline]
+pub fn counter(_name: &'static str) -> &'static Counter {
+    Counter::noop()
+}
+
+/// Returns the shared no-op histogram, ignoring `name`.
+#[inline]
+pub fn histogram(_name: &'static str) -> &'static Histogram {
+    Histogram::noop()
+}
+
+/// Always returns an empty [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+/// Does nothing.
+pub fn reset() {}

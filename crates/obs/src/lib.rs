@@ -1,0 +1,227 @@
+//! Operational observability for the mhd-dedup workspace.
+//!
+//! The paper's evaluation reasons from end-of-run aggregates (DER,
+//! MetaDataRatio, ThroughputRatio); this crate makes the *inside* of a run
+//! visible: where time goes per pipeline stage, how chunk sizes and probe
+//! latencies distribute, and how often the MHD-specific events (Hook hits,
+//! BME extensions, HHR splits) fire. Three primitives cover all of it:
+//!
+//! * [`Counter`] — a monotonically increasing atomic event count;
+//! * [`Histogram`] — log₂-bucketed value distribution (sizes, latencies)
+//!   with count/sum/min/max;
+//! * [`Span`] — an RAII timer recording elapsed nanoseconds into a
+//!   histogram, used for per-stage occupancy.
+//!
+//! All three live in a global, name-interned registry so instrumentation
+//! points need no plumbing: `obs::counter!("mhd.hook_hit").inc()` anywhere
+//! in the workspace contributes to the same metric, and
+//! [`snapshot`] serializes the whole registry as one [`Snapshot`].
+//!
+//! # The `obs` feature — no-op-when-disabled guarantee
+//!
+//! Everything here is compiled behind the `obs` cargo feature. With the
+//! feature **off** (the default), the macros expand to zero-sized no-ops:
+//! no atomics, no clock reads, no registry, and the optimizer removes the
+//! calls entirely — library crates can therefore instrument
+//! unconditionally. With the feature **on** (enabled by the CLI, the bench
+//! harness and the integration tests), recording costs one relaxed atomic
+//! RMW per event plus one `Instant::now()` pair per span.
+//!
+//! ```
+//! let chunks = mhd_obs::counter!("example.chunks");
+//! chunks.inc();
+//! let sizes = mhd_obs::histogram!("example.chunk_bytes");
+//! sizes.record(4096);
+//! {
+//!     let _timer = mhd_obs::span!("example.stage_ns");
+//!     // ... timed work ...
+//! }
+//! let snap = mhd_obs::snapshot();
+//! # #[cfg(feature = "obs")]
+//! assert_eq!(snap.counter("example.chunks"), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+#[cfg(feature = "obs")]
+mod enabled;
+#[cfg(feature = "obs")]
+pub use enabled::{counter, histogram, reset, snapshot, Counter, Histogram, Span};
+
+#[cfg(not(feature = "obs"))]
+mod disabled;
+#[cfg(not(feature = "obs"))]
+pub use disabled::{counter, histogram, reset, snapshot, Counter, Histogram, Span};
+
+/// Returns the [`Counter`] registered under a `&'static str` name, cached
+/// per call site (one `OnceLock` lookup ever; afterwards a plain static
+/// read). Expands to a no-op handle with the `obs` feature off.
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Returns the [`Counter`] registered under a `&'static str` name, cached
+/// per call site (one `OnceLock` lookup ever; afterwards a plain static
+/// read). Expands to a no-op handle with the `obs` feature off.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        let _ = $name;
+        $crate::Counter::noop()
+    }};
+}
+
+/// Returns the [`Histogram`] registered under a `&'static str` name,
+/// cached per call site. Expands to a no-op handle with the `obs` feature
+/// off.
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// Returns the [`Histogram`] registered under a `&'static str` name,
+/// cached per call site. Expands to a no-op handle with the `obs` feature
+/// off.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        let _ = $name;
+        $crate::Histogram::noop()
+    }};
+}
+
+/// Opens an RAII [`Span`] timing the enclosing scope into the named
+/// histogram (recorded in nanoseconds on drop). With the `obs` feature off
+/// this is a zero-sized value and no clock is read.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($crate::histogram!($name))
+    };
+}
+
+/// Number of histogram buckets: bucket `b` counts values whose bit length
+/// is `b` (i.e. `v == 0` → bucket 0, `v ∈ [2^(b-1), 2^b)` → bucket `b`).
+pub const BUCKETS: usize = 65;
+
+/// Maps a value to its log₂ bucket index (its bit length).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// A point-in-time, serializable copy of every registered metric.
+///
+/// Metrics are sorted by name, so two snapshots of identical state compare
+/// equal and serialize identically.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Every registered counter, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Every registered histogram, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// One counter's state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registered metric name (dotted, e.g. `"mhd.hook_hit"`).
+    pub name: String,
+    /// Total count at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram's state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registered metric name (dotted, e.g. `"pipeline.consumer_ns"`).
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (0 when `count == 0`).
+    pub min: u64,
+    /// Largest recorded value (0 when `count == 0`).
+    pub max: u64,
+    /// Non-empty log₂ buckets as `(bit_length, count)` pairs — see
+    /// [`bucket_index`].
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl Snapshot {
+    /// Whether the snapshot contains no metrics at all (always true with
+    /// the `obs` feature disabled).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let snap = Snapshot {
+            counters: vec![CounterSnapshot { name: "a.events".into(), value: u64::MAX }],
+            histograms: vec![HistogramSnapshot {
+                name: "a.bytes".into(),
+                count: 3,
+                sum: 4097,
+                min: 0,
+                max: 4096,
+                buckets: vec![(0, 1), (1, 1), (13, 1)],
+            }],
+        };
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert!(!back.is_empty());
+        assert_eq!(back.counter("a.events"), u64::MAX);
+        assert_eq!(back.histogram("a.bytes").unwrap().mean(), 4097.0 / 3.0);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert!(snap.is_empty());
+        let back: Snapshot = serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -63,8 +63,13 @@ pub trait Backend {
     fn get(&mut self, kind: FileKind, name: &str) -> StoreResult<Bytes>;
 
     /// Reads `len` bytes at `offset`.
-    fn get_range(&mut self, kind: FileKind, name: &str, offset: u64, len: u64)
-        -> StoreResult<Bytes>;
+    fn get_range(
+        &mut self,
+        kind: FileKind,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> StoreResult<Bytes>;
 
     /// Object size in bytes, or `NotFound`.
     fn size_of(&mut self, kind: FileKind, name: &str) -> StoreResult<u64>;

@@ -66,9 +66,7 @@ fn get_varint(data: &[u8], pos: &mut usize) -> StoreResult<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = *data
-            .get(*pos)
-            .ok_or_else(|| StoreError::Corrupt("varint truncated".into()))?;
+        let byte = *data.get(*pos).ok_or_else(|| StoreError::Corrupt("varint truncated".into()))?;
         *pos += 1;
         if shift >= 64 {
             return Err(StoreError::Corrupt("varint overflow".into()));
@@ -212,11 +210,8 @@ impl FileManifest {
             let cd = unzig(get_varint(data, &mut pos)?);
             let container = (prev_container as i64 + cd) as u64;
             let od = unzig(get_varint(data, &mut pos)?);
-            let offset = if container == prev_container {
-                (prev_end as i64 + od) as u64
-            } else {
-                od as u64
-            };
+            let offset =
+                if container == prev_container { (prev_end as i64 + od) as u64 } else { od as u64 };
             let len = get_varint(data, &mut pos)?;
             fm.extents.push(Extent { container: DiskChunkId(container), offset, len });
             fm.total_len += len;

@@ -337,10 +337,8 @@ mod tests {
 
     fn sample(format: ManifestFormat) -> Manifest {
         let mut m = Manifest::new(ManifestId(7), format);
-        let same_container = !matches!(
-            format,
-            ManifestFormat::Grouped | ManifestFormat::PerEntryContainer
-        );
+        let same_container =
+            !matches!(format, ManifestFormat::Grouped | ManifestFormat::PerEntryContainer);
         for i in 0..10u64 {
             let c = if same_container { 1 } else { i / 3 };
             m.entries.push(entry(i, c, i * 100, 100, i % 4 == 0));
@@ -366,8 +364,10 @@ mod tests {
             } else {
                 assert_eq!(back.entries.len(), m.entries.len());
                 for (a, b) in back.entries.iter().zip(&m.entries) {
-                    assert_eq!((a.hash, a.container, a.offset, a.size),
-                               (b.hash, b.container, b.offset, b.size));
+                    assert_eq!(
+                        (a.hash, a.container, a.offset, a.size),
+                        (b.hash, b.container, b.offset, b.size)
+                    );
                 }
             }
         }
@@ -452,26 +452,23 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_entries(same_container: bool) -> impl Strategy<Value = Vec<ManifestEntry>> {
-            proptest::collection::vec(
-                (any::<u64>(), 0u64..4, 1u64..10_000, any::<bool>()),
-                0..40,
-            )
-            .prop_map(move |raw| {
-                let mut offset = 0;
-                raw.into_iter()
-                    .map(|(seed, container, size, is_hook)| {
-                        let e = ManifestEntry {
-                            hash: sha1(&seed.to_le_bytes()),
-                            container: DiskChunkId(if same_container { 1 } else { container }),
-                            offset,
-                            size,
-                            is_hook,
-                        };
-                        offset += size;
-                        e
-                    })
-                    .collect()
-            })
+            proptest::collection::vec((any::<u64>(), 0u64..4, 1u64..10_000, any::<bool>()), 0..40)
+                .prop_map(move |raw| {
+                    let mut offset = 0;
+                    raw.into_iter()
+                        .map(|(seed, container, size, is_hook)| {
+                            let e = ManifestEntry {
+                                hash: sha1(&seed.to_le_bytes()),
+                                container: DiskChunkId(if same_container { 1 } else { container }),
+                                offset,
+                                size,
+                                is_hook,
+                            };
+                            offset += size;
+                            e
+                        })
+                        .collect()
+                })
         }
 
         proptest! {

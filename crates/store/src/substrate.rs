@@ -99,6 +99,8 @@ impl<B: Backend> Substrate<B> {
         }
         let (id, content_hash, data) = builder.seal();
         self.backend.put(FileKind::DiskChunk, &id.name(), &data)?;
+        mhd_obs::counter!("store.disk_chunk_writes").inc();
+        mhd_obs::histogram!("store.disk_chunk_write_bytes").record(data.len() as u64);
         self.stats.chunk_output += 1;
         self.ledger.inodes_disk_chunks += 1;
         self.ledger.stored_data_bytes += data.len() as u64;
@@ -108,8 +110,15 @@ impl<B: Backend> Substrate<B> {
 
     /// Reads `len` bytes at `offset` from a sealed DiskChunk (an HHR
     /// byte-comparison reload, or a restore read).
-    pub fn read_chunk_range(&mut self, id: DiskChunkId, offset: u64, len: u64) -> StoreResult<Bytes> {
+    pub fn read_chunk_range(
+        &mut self,
+        id: DiskChunkId,
+        offset: u64,
+        len: u64,
+    ) -> StoreResult<Bytes> {
         let data = self.backend.get_range(FileKind::DiskChunk, &id.name(), offset, len)?;
+        mhd_obs::counter!("store.disk_chunk_reads").inc();
+        mhd_obs::histogram!("store.disk_chunk_read_bytes").record(len);
         self.stats.chunk_input += 1;
         Ok(data)
     }
@@ -140,6 +149,7 @@ impl<B: Backend> Substrate<B> {
         let mut payload = [0u8; 20];
         payload[..8].copy_from_slice(&manifest.0.to_le_bytes());
         self.backend.put(FileKind::Hook, &hash.to_hex(), &payload)?;
+        mhd_obs::counter!("store.hook_writes").inc();
         self.stats.hook_output += 1;
         self.ledger.inodes_hooks += 1;
         self.ledger.hook_bytes += 20;
@@ -169,11 +179,12 @@ impl<B: Backend> Substrate<B> {
     /// Looks a Hook up on disk. Each call is one disk access whether or not
     /// the Hook exists (a miss still seeks the directory).
     pub fn lookup_hook(&mut self, hash: ChunkHash) -> StoreResult<Option<ManifestId>> {
+        let _timer = mhd_obs::span!("store.hook_lookup_ns");
+        mhd_obs::counter!("store.hook_reads").inc();
         self.stats.hook_input += 1;
         match self.backend.get(FileKind::Hook, &hash.to_hex()) {
             Ok(payload) if payload.len() == 20 => {
-                let id =
-                    u64::from_le_bytes(payload[..8].try_into().expect("8-byte manifest id"));
+                let id = u64::from_le_bytes(payload[..8].try_into().expect("8-byte manifest id"));
                 Ok(Some(ManifestId(id)))
             }
             Ok(_) => Err(crate::StoreError::Corrupt("hook payload must be 20 bytes".into())),
@@ -200,6 +211,8 @@ impl<B: Backend> Substrate<B> {
     pub fn write_manifest(&mut self, manifest: &Manifest) -> StoreResult<()> {
         let encoded = manifest.encode();
         self.backend.put(FileKind::Manifest, &manifest.id.name(), &encoded)?;
+        mhd_obs::counter!("store.manifest_writes").inc();
+        mhd_obs::histogram!("store.manifest_write_bytes").record(encoded.len() as u64);
         self.stats.manifest_output += 1;
         self.ledger.inodes_manifests += 1;
         self.ledger.manifest_bytes += encoded.len() as u64;
@@ -212,6 +225,8 @@ impl<B: Backend> Substrate<B> {
     pub fn update_manifest(&mut self, manifest: &Manifest) -> StoreResult<()> {
         let encoded = manifest.encode();
         self.backend.update(FileKind::Manifest, &manifest.id.name(), &encoded)?;
+        mhd_obs::counter!("store.manifest_updates").inc();
+        mhd_obs::histogram!("store.manifest_write_bytes").record(encoded.len() as u64);
         self.stats.manifest_output += 1;
         let old = self
             .manifest_sizes
@@ -224,6 +239,7 @@ impl<B: Backend> Substrate<B> {
     /// Loads a Manifest from disk into RAM.
     pub fn load_manifest(&mut self, id: ManifestId) -> StoreResult<Manifest> {
         let data = self.backend.get(FileKind::Manifest, &id.name())?;
+        mhd_obs::counter!("store.manifest_reads").inc();
         self.stats.manifest_input += 1;
         Manifest::decode(id, &data)
     }
@@ -236,6 +252,7 @@ impl<B: Backend> Substrate<B> {
     pub fn write_file_manifest(&mut self, name: &str, fm: &FileManifest) -> StoreResult<()> {
         let encoded = fm.encode();
         self.backend.put(FileKind::FileManifest, name, &encoded)?;
+        mhd_obs::counter!("store.file_manifest_writes").inc();
         self.ledger.inodes_file_manifests += 1;
         self.ledger.file_manifest_bytes += encoded.len() as u64;
         Ok(())
@@ -327,11 +344,7 @@ impl<B: Backend> Substrate<B> {
             next_chunk_id: self.next_chunk_id,
             next_manifest_id: self.next_manifest_id,
             manifest_sizes: self.manifest_sizes.iter().map(|(k, v)| (k.0, *v)).collect(),
-            chunk_hashes: self
-                .chunk_hashes
-                .iter()
-                .map(|(k, v)| (k.0, v.to_hex()))
-                .collect(),
+            chunk_hashes: self.chunk_hashes.iter().map(|(k, v)| (k.0, v.to_hex())).collect(),
         }
     }
 

@@ -163,8 +163,7 @@ impl Corpus {
                         mstats.preserved_bytes += base.len() as u64;
                     }
                     if rng.random::<f64>() < spec.fresh_append_prob {
-                        let len =
-                            (spec.machine_bytes as f64 * spec.fresh_append_fraction) as usize;
+                        let len = (spec.machine_bytes as f64 * spec.fresh_append_fraction) as usize;
                         mstats.absorb(Mutator::append_fresh(&mut user, len, &mut rng));
                     }
                     stats.fresh_bytes += mstats.fresh_bytes;

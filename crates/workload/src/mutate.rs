@@ -152,7 +152,9 @@ mod tests {
         assert_eq!(img.len() as u64, stats.preserved_bytes + stats.fresh_bytes);
         // And input = preserved + overwritten-or-deleted old bytes, which
         // is bounded by fresh + deleted.
-        assert!(before.len() as u64 <= stats.preserved_bytes + stats.fresh_bytes + stats.deleted_bytes);
+        assert!(
+            before.len() as u64 <= stats.preserved_bytes + stats.fresh_bytes + stats.deleted_bytes
+        );
     }
 
     #[test]

@@ -33,10 +33,8 @@ pub fn export_to_dir(corpus: &Corpus, root: &Path) -> io::Result<()> {
 pub fn import_from_dir(root: &Path) -> io::Result<Vec<Snapshot>> {
     let mut cells: Vec<(usize, usize, Vec<FileEntry>)> = Vec::new();
 
-    let mut machines: Vec<_> = std::fs::read_dir(root)?
-        .filter_map(|e| e.ok())
-        .filter(|e| e.path().is_dir())
-        .collect();
+    let mut machines: Vec<_> =
+        std::fs::read_dir(root)?.filter_map(|e| e.ok()).filter(|e| e.path().is_dir()).collect();
     machines.sort_by_key(|e| e.file_name());
     for m_entry in machines {
         let m_name = m_entry.file_name().to_string_lossy().into_owned();
@@ -69,10 +67,7 @@ pub fn import_from_dir(root: &Path) -> io::Result<Vec<Snapshot>> {
                 .into_iter()
                 .map(|f| {
                     Ok(FileEntry {
-                        path: format!(
-                            "m{machine}/d{day}/{}",
-                            f.file_name().to_string_lossy()
-                        ),
+                        path: format!("m{machine}/d{day}/{}", f.file_name().to_string_lossy()),
                         data: Bytes::from(std::fs::read(f.path())?),
                     })
                 })
@@ -93,8 +88,7 @@ mod tests {
     #[test]
     fn export_import_round_trip() {
         let corpus = Corpus::generate(CorpusSpec::tiny(61));
-        let root =
-            std::env::temp_dir().join(format!("mhd-trace-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("mhd-trace-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         export_to_dir(&corpus, &root).unwrap();
 
@@ -110,8 +104,7 @@ mod tests {
 
     #[test]
     fn import_ignores_foreign_directories() {
-        let root =
-            std::env::temp_dir().join(format!("mhd-trace-foreign-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("mhd-trace-foreign-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(root.join("not-a-machine")).unwrap();
         std::fs::create_dir_all(root.join("m0/d0")).unwrap();

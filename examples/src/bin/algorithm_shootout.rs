@@ -19,11 +19,7 @@ fn drive(engine: &mut dyn Deduplicator, corpus: &Corpus) -> DedupReport {
 
 fn main() {
     let corpus = Corpus::generate(CorpusSpec { seed: 5, ..CorpusSpec::paper_like(32 << 20) });
-    println!(
-        "corpus: {} streams, {}\n",
-        corpus.snapshots.len(),
-        human_bytes(corpus.total_bytes())
-    );
+    println!("corpus: {} streams, {}\n", corpus.snapshots.len(), human_bytes(corpus.total_bytes()));
 
     let mut config = EngineConfig::new(2048, 16);
     config.cache_manifests = 8;

@@ -13,10 +13,7 @@ fn main() {
     let days = spec.snapshots;
     let machines = spec.machines;
     let corpus = Corpus::generate(spec);
-    println!(
-        "rotation: {machines} machines x {days} days, {}",
-        human_bytes(corpus.total_bytes())
-    );
+    println!("rotation: {machines} machines x {days} days, {}", human_bytes(corpus.total_bytes()));
 
     let mut engine =
         MhdEngine::new(MemBackend::new(), EngineConfig::new(2048, 16)).expect("valid config");

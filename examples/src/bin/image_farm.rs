@@ -4,7 +4,7 @@
 //! both find essentially all the duplication, but CDC pays one hook inode
 //! + manifest entry per chunk while SHM merges them away.
 
-use mhd_core::{Deduplicator, EngineConfig, MhdEngine, CdcEngine};
+use mhd_core::{CdcEngine, Deduplicator, EngineConfig, MhdEngine};
 use mhd_examples::human_bytes;
 use mhd_store::MemBackend;
 use mhd_workload::{Corpus, CorpusSpec};
@@ -60,5 +60,8 @@ fn main() {
     let saving = 1.0
         - mhd_report.ledger.total_metadata_bytes() as f64
             / cdc_report.ledger.total_metadata_bytes() as f64;
-    println!("\nmetadata harnessing saved {:.1}% of CDC's metadata at the same granularity", saving * 100.0);
+    println!(
+        "\nmetadata harnessing saved {:.1}% of CDC's metadata at the same granularity",
+        saving * 100.0
+    );
 }

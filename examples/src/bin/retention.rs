@@ -50,10 +50,8 @@ fn main() {
         }
 
         let ledger = engine.substrate_mut().ledger();
-        let ingested: u64 = corpus.snapshots[..(day + 1) * machines]
-            .iter()
-            .map(|s| s.total_bytes())
-            .sum();
+        let ingested: u64 =
+            corpus.snapshots[..(day + 1) * machines].iter().map(|s| s.total_bytes()).sum();
         println!(
             "{:>4} {:>12} {:>12} {:>10} {:>10} {:>12}",
             day,

@@ -1,0 +1,194 @@
+//! In-tree, offline facade for the `criterion` API surface this workspace
+//! uses (see `shims/README.md`).
+//!
+//! Compared to real criterion there is no statistical analysis, outlier
+//! rejection, or HTML report: each benchmark is warmed up briefly, then
+//! timed over enough iterations to fill a fixed measurement window, and a
+//! single `median-of-batches ns/iter` line (plus derived throughput) is
+//! printed. That is deliberately lightweight but stable enough to compare
+//! an `obs`-on and `obs`-off build of the same benchmark.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput definition.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declares how much work one iteration performs, enabling derived
+    /// throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Adjusts the sample count (accepted for API compatibility; the facade
+    /// sizes its measurement window automatically).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.throughput, f);
+        self
+    }
+
+    /// Runs `f` with a fixed input as a benchmark inside this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.0);
+        run_benchmark(&name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (printing happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a displayed parameter.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id made of just a displayed parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+/// The amount of work one benchmark iteration performs.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+    /// Iterations process this many elements each.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the measured cost per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run for ~20ms to populate caches and settle clocks.
+        let warmup_end = Instant::now() + Duration::from_millis(20);
+        let mut warmup_iters: u64 = 0;
+        while Instant::now() < warmup_end {
+            black_box(f());
+            warmup_iters += 1;
+        }
+
+        // Pick a batch size that keeps each timed batch around 5ms, then
+        // take the median of several batches (robust to scheduler noise).
+        let per_iter_est = Duration::from_millis(20).as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let batch = ((5_000_000.0 / per_iter_est.max(1.0)) as u64).clamp(1, 1 << 24);
+        let mut samples: Vec<f64> = (0..7)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { ns_per_iter: 0.0 };
+    f(&mut bencher);
+    let ns = bencher.ns_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+            let gib_s = bytes as f64 / ns * 1e9 / (1u64 << 30) as f64;
+            format!("  ({gib_s:.3} GiB/s)")
+        }
+        Some(Throughput::Elements(elems)) if ns > 0.0 => {
+            let melem_s = elems as f64 / ns * 1e9 / 1e6;
+            format!("  ({melem_s:.3} Melem/s)")
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} {ns:>14.1} ns/iter{rate}");
+}
+
+/// Declares a group function running the listed benchmark functions,
+/// mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,168 @@
+//! In-tree, offline facade for the `crossbeam` pieces this workspace uses:
+//! a bounded MPMC channel with disconnect semantics (see
+//! `shims/README.md`). Backed by a mutex-protected ring buffer and two
+//! condvars — not lock-free like real crossbeam, but the pipeline moves
+//! whole snapshots per message, so channel overhead is negligible.
+
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<Shared<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: usize,
+    }
+
+    struct Shared<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Creates a bounded channel with room for `capacity` in-flight
+    /// messages (`capacity >= 1`).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity >= 1, "bounded channel capacity must be >= 1");
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Shared { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `value`. Fails (returning
+        /// the value) once every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut shared = self.0.queue.lock().unwrap();
+            loop {
+                if shared.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if shared.items.len() < self.0.capacity {
+                    shared.items.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                shared = self.0.not_full.wait(shared).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut shared = self.0.queue.lock().unwrap();
+            shared.senders -= 1;
+            if shared.senders == 0 {
+                drop(shared);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives. Fails once the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut shared = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(item) = shared.items.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(item);
+                }
+                if shared.senders == 0 {
+                    return Err(RecvError);
+                }
+                shared = self.0.not_empty.wait(shared).unwrap();
+            }
+        }
+
+        /// A blocking iterator over received messages; ends when the channel
+        /// is empty and all senders are gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut shared = self.0.queue.lock().unwrap();
+            shared.receivers -= 1;
+            if shared.receivers == 0 {
+                drop(shared);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}

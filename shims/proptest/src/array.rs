@@ -1,0 +1,22 @@
+//! Fixed-size array strategies, mirroring `proptest::array`.
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// A strategy producing `[S::Value; 20]` with each element drawn
+/// independently from `element`.
+pub fn uniform20<S: Strategy>(element: S) -> Uniform20<S> {
+    Uniform20 { element }
+}
+
+/// The strategy returned by [`uniform20`].
+pub struct Uniform20<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for Uniform20<S> {
+    type Value = [S::Value; 20];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; 20] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}

@@ -1,0 +1,249 @@
+//! In-tree, offline facade for the `proptest` API surface this workspace
+//! uses (see `shims/README.md`).
+//!
+//! Semantics versus real proptest:
+//!
+//! * inputs are generated from a deterministic per-test RNG (seeded from
+//!   the test's source location), so failures reproduce across runs;
+//! * there is **no shrinking** — a failing case reports the panic from the
+//!   property body as-is;
+//! * `prop_assert!`/`prop_assert_eq!` are plain `assert!`s.
+//!
+//! Strategies are generators: [`Strategy::generate`] draws one value from a
+//! [`test_runner::TestRng`]. Ranges, tuples, `any::<T>()`, `Just`,
+//! `prop_map`, `prop_oneof!`, `collection::vec` and `array::uniform20`
+//! cover every call site in the workspace.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod collection;
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, BoxedStrategy, Just, Strategy};
+    // Macros are exported at crate root; surface them like the real prelude
+    // does, together with the `prop` module alias.
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Erases the strategy type (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one uniformly random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The canonical whole-domain strategy for `A`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range strategy");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// A choice among same-valued strategies, built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a uniform choice over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Picks uniformly among the listed strategies (all must yield the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a property-body condition (plain `assert!` in this facade).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts property-body equality (plain `assert_eq!` in this facade).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...)` block
+/// becomes a `#[test]` running the body over `ProptestConfig::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($config) $($rest)*);
+    };
+    (@with ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            // Location-derived base seed: deterministic, distinct per test.
+            let seed = $crate::test_runner::location_seed(file!(), line!(), column!());
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::new(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $binding = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,58 @@
+//! Test-runner configuration and the deterministic RNG behind the facade.
+
+/// Configuration for a `proptest!` block, mirroring
+/// `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps un-configured property
+        // blocks fast while still exploring a useful input volume.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Derives a per-test base seed from the test's source location, so every
+/// run of the same binary explores the same inputs.
+pub fn location_seed(file: &str, line: u32, column: u32) -> u64 {
+    // FNV-1a over the location string.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in file.bytes().chain(line.to_le_bytes()).chain(column.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The deterministic generator driving strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

@@ -1,0 +1,171 @@
+//! In-tree, offline facade for the `rayon` API surface this workspace
+//! uses: `slice.par_iter().map(f).collect()` and
+//! `range.into_par_iter().map(f).collect()` (see `shims/README.md`).
+//!
+//! Unlike a pure sequential stub, `map` really fans out: the source items
+//! are split into one contiguous block per available core and mapped on
+//! scoped `std::thread`s, preserving order on collect. There is no work
+//! stealing, which is fine for this workspace's uniform per-item cost
+//! (SHA-1 over similar-size chunks, per-machine corpus synthesis).
+
+#![warn(missing_docs)]
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A parallel iterator: a description of work that [`collect`] executes
+/// across threads.
+///
+/// [`collect`]: ParallelIterator::collect
+pub trait ParallelIterator: Sized {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Executes the pipeline and returns all items, in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` (in parallel once driven).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and gathers the results in source order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.drive())
+    }
+
+    /// Executes the pipeline for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.map(f).drive();
+    }
+
+    /// Executes the pipeline and sums the results.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+}
+
+/// Types convertible into a [`ParallelIterator`] by value.
+pub trait IntoParallelIterator {
+    /// The item type produced.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Types whose references convert into a [`ParallelIterator`] over `&Item`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The (reference) item type produced.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over the elements of a slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn drive(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+    fn drive(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// The result of [`ParallelIterator::map`]: the stage where the actual
+/// fan-out happens.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    I::Item: Send,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let items = self.base.drive();
+        parallel_map(items, &self.f)
+    }
+}
+
+/// Maps `items` through `f` on up to `available_parallelism` scoped
+/// threads, one contiguous block each, and returns results in order.
+fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let len = items.len();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let chunk = len.div_ceil(threads);
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    for _ in 0..threads {
+        blocks.push(items.by_ref().take(chunk).collect());
+    }
+
+    let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| scope.spawn(move || block.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon facade worker panicked")).collect()
+    });
+    mapped.into_iter().flatten().collect()
+}

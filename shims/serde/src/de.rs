@@ -1,0 +1,203 @@
+//! Deserialization half of the facade: [`Deserialize`], [`Deserializer`]
+//! and the [`Content`]-destructuring impls the derive macros call into.
+
+use crate::{Content, ContentError};
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that can deserialize into the facade's data model.
+///
+/// A format decodes itself into one self-describing [`Content`] tree; the
+/// `Deserialize` impls then destructure that tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Decodes the input into a [`Content`] tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Trait for deserialization error types, mirroring `serde::de::Error`.
+pub trait Error: Sized + std::fmt::Display {
+    /// Builds an error from an arbitrary display-able message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+impl<'de> Deserializer<'de> for Content {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self)
+    }
+}
+
+/// Forwards a [`ContentError`] into the deserializer's error type (the dual
+/// of [`crate::ser::lift_err`], used when recursing into sub-content).
+pub fn lift_err<E: Error>(e: ContentError) -> E {
+    E::custom(e)
+}
+
+fn type_err<E: Error>(expected: &str, got: &Content) -> E {
+    let kind = match got {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::U64(_) | Content::I64(_) => "integer",
+        Content::F64(_) => "float",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "sequence",
+        Content::Map(_) => "map",
+    };
+    E::custom(format_args!("expected {expected}, found {kind}"))
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format_args!("{v} out of range"))),
+                    other => Err(type_err(stringify!($t), &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide: i64 = match deserializer.deserialize_content()? {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| D::Error::custom(format_args!("{v} out of range")))?,
+                    other => return Err(type_err(stringify!($t), &other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| D::Error::custom(format_args!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(type_err("f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(type_err("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(type_err("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(type_err("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some).map_err(lift_err),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => {
+                items.into_iter().map(|c| T::deserialize(c).map_err(lift_err)).collect()
+            }
+            other => Err(type_err("sequence", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal, $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) => {
+                        if items.len() != $len {
+                            return Err(D::Error::custom(format_args!(
+                                "expected tuple of length {}, found {}", $len, items.len()
+                            )));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($($name::deserialize(it.next().expect("length checked"))
+                            .map_err(lift_err)?,)+))
+                    }
+                    other => Err(type_err("tuple sequence", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (2, T0, T1)
+    (3, T0, T1, T2)
+    (4, T0, T1, T2, T3)
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, V::deserialize(v).map_err(lift_err)?)))
+                .collect(),
+            other => Err(type_err("map", &other)),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, V::deserialize(v).map_err(lift_err)?)))
+                .collect(),
+            other => Err(type_err("map", &other)),
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! In-tree, offline facade for the subset of the `serde` data model used by
+//! this workspace (see `shims/README.md` for the why and the contract).
+//!
+//! The design deliberately collapses serde's visitor machinery into a small
+//! self-describing [`Content`] tree: serializers accept a `Content`,
+//! deserializers yield one, and the derive macros (from the sibling
+//! `serde_derive` facade) build/destructure it. The public trait names and
+//! method signatures match real serde closely enough that every manual
+//! `impl Serialize`/`impl Deserialize` in the workspace compiles unchanged,
+//! and swapping back to crates-io serde is a one-line manifest change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+/// A self-describing serialized value: the facade's entire data model.
+///
+/// Maps preserve insertion order (derive order for structs), which keeps
+/// emitted JSON stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / Rust `Option::None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (all of `u8..=u64` and `usize` widen to this).
+    U64(u64),
+    /// A signed integer (only used for values that don't fit `U64`).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (`Vec`, slices, tuples).
+    Seq(Vec<Content>),
+    /// A key-value map (structs, string-keyed maps).
+    Map(Vec<(String, Content)>),
+}
+
+/// The error type produced while building or destructuring [`Content`].
+#[derive(Debug, Clone)]
+pub struct ContentError(String);
+
+impl ContentError {
+    /// Creates an error carrying `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ContentError(msg.into())
+    }
+}
+
+impl std::fmt::Display for ContentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}

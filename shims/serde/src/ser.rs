@@ -1,0 +1,239 @@
+//! Serialization half of the facade: [`Serialize`], [`Serializer`] and the
+//! [`Content`]-building helpers the derive macros call into.
+
+use crate::{Content, ContentError};
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can serialize the facade's data model.
+///
+/// Unlike real serde there is no visitor plumbing: compound values are
+/// funneled through [`Serializer::serialize_content`] as a pre-built
+/// [`Content`] tree. The scalar methods exist so that the workspace's manual
+/// `impl Serialize` blocks (which call e.g. `serialize_str`) compile
+/// unchanged.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a floating-point number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit/null value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an arbitrary pre-built [`Content`] tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Trait for serialization error types, mirroring `serde::ser::Error`.
+pub trait Error: Sized + std::fmt::Display {
+    /// Builds an error from an arbitrary display-able message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// Serializes `value` into a [`Content`] tree.
+///
+/// This is the workhorse behind the derive macros and `serde_json`: every
+/// compound `Serialize` impl reduces its fields to `Content` with this and
+/// hands the result to [`Serializer::serialize_content`].
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// A [`Serializer`] whose output is the [`Content`] tree itself.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, ContentError> {
+        Ok(Content::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Content, ContentError> {
+        if v >= 0 {
+            Ok(Content::U64(v as u64))
+        } else {
+            Ok(Content::I64(v))
+        }
+    }
+    fn serialize_u64(self, v: u64) -> Result<Content, ContentError> {
+        Ok(Content::U64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Content, ContentError> {
+        Ok(Content::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Content, ContentError> {
+        Ok(Content::Str(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Content, ContentError> {
+        Ok(Content::Null)
+    }
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Forwards a [`ContentError`] into the serializer's error type.
+///
+/// Used by derived and container impls: inner fields serialize through
+/// [`to_content`] (error type `ContentError`) while the outer call must
+/// return `S::Error`.
+pub fn lift_err<E: Error>(e: ContentError) -> E {
+    E::custom(e)
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_unit(),
+        }
+    }
+}
+
+fn seq_to_content<'a, T, I, S>(items: I, serializer: S) -> Result<S::Ok, S::Error>
+where
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+    S: Serializer,
+{
+    let seq: Result<Vec<Content>, ContentError> = items.into_iter().map(to_content).collect();
+    serializer.serialize_content(Content::Seq(seq.map_err(lift_err)?))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_content(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_content(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_content(self.iter(), serializer)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![$(to_content(&self.$idx).map_err(lift_err)?),+];
+                serializer.serialize_content(Content::Seq(seq))
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            map.push((k.clone(), to_content(v).map_err(lift_err)?));
+        }
+        serializer.serialize_content(Content::Map(map))
+    }
+}
+
+impl<V: Serialize, H: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, H>
+{
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort for deterministic output; HashMap iteration order is random.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut map = Vec::with_capacity(entries.len());
+        for (k, v) in entries {
+            map.push((k.clone(), to_content(v).map_err(lift_err)?));
+        }
+        serializer.serialize_content(Content::Map(map))
+    }
+}

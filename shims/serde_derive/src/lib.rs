@@ -1,0 +1,278 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the in-tree serde facade (`shims/serde`).
+//!
+//! Scope is intentionally the subset this workspace uses — and the macros
+//! fail loudly (compile error) on anything outside it:
+//!
+//! * non-generic structs with named fields → serialized as a `Content::Map`
+//!   keyed by field name, in declaration order;
+//! * non-generic enums whose variants are all units → serialized as a
+//!   `Content::Str` of the variant name (matching serde_json's
+//!   externally-tagged representation for unit variants).
+//!
+//! `#[serde(...)]` attributes are not supported and are rejected rather
+//! than silently ignored.
+//!
+//! Everything is done with `proc_macro` alone (no `syn`/`quote`): the item
+//! is scanned for its name and field/variant list, and the impl is emitted
+//! as a formatted string parsed back into a `TokenStream`.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the input item turned out to be.
+enum Item {
+    /// Struct name + named fields, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names, in declaration order.
+    Enum(String, Vec<String>),
+}
+
+/// Derives the facade's `Serialize` for a named-field struct or unit enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let mut body = String::new();
+            body.push_str(&format!(
+                "let mut __map: Vec<(String, ::serde::Content)> = \
+                 Vec::with_capacity({});\n",
+                fields.len()
+            ));
+            for f in &fields {
+                body.push_str(&format!(
+                    "__map.push((\"{f}\".to_string(), \
+                     ::serde::ser::to_content(&self.{f})\
+                     .map_err(::serde::ser::lift_err::<S::Error>)?));\n"
+                ));
+            }
+            body.push_str("__serializer.serialize_content(::serde::Content::Map(__map))");
+            impl_serialize(&name, &body)
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!("{name}::{v} => __serializer.serialize_str(\"{v}\"),\n"));
+            }
+            impl_serialize(&name, &format!("match self {{ {arms} }}"))
+        }
+    };
+    code.parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives the facade's `Deserialize` for a named-field struct or unit enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let mut body = String::new();
+            body.push_str(&format!(
+                "let mut __map = match __deserializer.deserialize_content()? {{\n\
+                     ::serde::Content::Map(m) => m,\n\
+                     _ => return Err(::serde::de::Error::custom(\n\
+                         \"expected map for struct {name}\")),\n\
+                 }};\n"
+            ));
+            for (i, f) in fields.iter().enumerate() {
+                body.push_str(&format!(
+                    "let __field{i} = {{\n\
+                         let __idx = __map.iter().position(|(k, _)| k == \"{f}\")\n\
+                             .ok_or_else(|| <D::Error as ::serde::de::Error>::custom(\n\
+                                 \"missing field `{f}` in {name}\"))?;\n\
+                         ::serde::Deserialize::deserialize(__map.swap_remove(__idx).1)\n\
+                             .map_err(::serde::de::lift_err::<D::Error>)?\n\
+                     }};\n"
+                ));
+            }
+            let ctor: Vec<String> =
+                fields.iter().enumerate().map(|(i, f)| format!("{f}: __field{i}")).collect();
+            body.push_str(&format!("Ok({name} {{ {} }})", ctor.join(", ")));
+            impl_deserialize(&name, &body)
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+            }
+            let body = format!(
+                "match __deserializer.deserialize_content()? {{\n\
+                     ::serde::Content::Str(s) => match s.as_str() {{\n\
+                         {arms}\
+                         other => Err(::serde::de::Error::custom(format!(\n\
+                             \"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     _ => Err(::serde::de::Error::custom(\"expected string for enum {name}\")),\n\
+                 }}"
+            );
+            impl_deserialize(&name, &body)
+        }
+    };
+    code.parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, __serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(__deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Scans the derive input for the item name and its fields/variants.
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+
+    // Walk the prefix: outer attributes, visibility, then `struct`/`enum`.
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#[...]` attribute: swallow the bracket group. Reject
+                // serde attributes instead of silently mis-serializing.
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    if g.stream().to_string().starts_with("serde") {
+                        panic!("serde facade derive: #[serde(...)] attributes are unsupported");
+                    }
+                }
+            }
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "pub" => {
+                    // Swallow a `(crate)`-style visibility group if present.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                "struct" => {
+                    kind = Some("struct");
+                    break;
+                }
+                "enum" => {
+                    kind = Some("enum");
+                    break;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    let kind = kind.expect("serde facade derive: expected `struct` or `enum`");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde facade derive: expected item name, found {other:?}"),
+    };
+
+    // The next brace group is the body. Anything before it that isn't the
+    // body means generics/where-clauses, which this facade does not support.
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde facade derive: only non-generic brace-bodied items are supported \
+             (struct {name}: found {other:?})"
+        ),
+    };
+
+    if kind == "struct" {
+        Item::Struct(name, parse_named_fields(body))
+    } else {
+        Item::Enum(name, parse_unit_variants(body))
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included) and visibility.
+        match iter.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name.
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde facade derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde facade derive: expected `:` after field `{name}`, found {other:?} \
+                 (tuple structs are unsupported)"
+            ),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                let v = id.to_string();
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    panic!(
+                        "serde facade derive: enum variant `{v}` carries data; \
+                         only unit variants are supported"
+                    );
+                }
+                variants.push(v);
+            }
+            other => panic!("serde facade derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}

@@ -1,0 +1,188 @@
+//! In-tree, offline facade for the subset of `serde_json` this workspace
+//! uses: `to_string[_pretty]`, `to_vec`, `from_str`, `from_slice`, the
+//! [`Value`] tree and the [`json!`] macro (see `shims/README.md`).
+//!
+//! The implementation round-trips through the serde facade's `Content`
+//! tree; the emitted JSON is deterministic (struct fields in declaration
+//! order, object literals in source order).
+
+#![warn(missing_docs)]
+
+use serde::{Content, ContentError, Deserialize, Serialize};
+
+mod parse;
+mod write;
+
+pub use parse::parse_content;
+
+/// Error produced by JSON (de)serialization.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ContentError> for Error {
+    fn from(e: ContentError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = serde::ser::to_content(value)?;
+    let mut out = String::new();
+    write::write_compact(&content, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to a human-readable, 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = serde::ser::to_content(value)?;
+    let mut out = String::new();
+    write::write_pretty(&content, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to a compact JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a `T` from a JSON string.
+pub fn from_str<T>(s: &str) -> Result<T, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    let content = parse::parse_content(s).map_err(Error)?;
+    T::deserialize(content).map_err(Into::into)
+}
+
+/// Deserializes a `T` from JSON bytes (must be UTF-8).
+pub fn from_slice<T>(bytes: &[u8]) -> Result<T, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+/// A dynamically-typed JSON value, as built by the [`json!`] macro.
+///
+/// Objects preserve insertion order (unlike crates-io serde_json's sorted
+/// `Map`), which keeps exhibit output stable and diff-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: unsigned, signed, or floating-point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point.
+    F64(f64),
+}
+
+impl Value {
+    fn from_content(c: Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::U64(v) => Value::Number(Number::U64(v)),
+            Content::I64(v) => Value::Number(Number::I64(v)),
+            Content::F64(v) => Value::Number(Number::F64(v)),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => Value::Object(
+                entries.into_iter().map(|(k, v)| (k, Value::from_content(v))).collect(),
+            ),
+        }
+    }
+
+    fn into_content(self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(b),
+            Value::Number(Number::U64(v)) => Content::U64(v),
+            Value::Number(Number::I64(v)) => Content::I64(v),
+            Value::Number(Number::F64(v)) => Content::F64(v),
+            Value::String(s) => Content::Str(s),
+            Value::Array(items) => {
+                Content::Seq(items.into_iter().map(Value::into_content).collect())
+            }
+            Value::Object(entries) => {
+                Content::Map(entries.into_iter().map(|(k, v)| (k, v.into_content())).collect())
+            }
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone().into_content())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Value::from_content(deserializer.deserialize_content()?))
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write::write_compact(&self.clone().into_content(), &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Converts any `Serialize` value into a [`Value`] tree.
+///
+/// Serialization into `Value` is infallible for every type in this
+/// workspace; a custom error from a hand-written `Serialize` impl panics.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    Value::from_content(
+        serde::ser::to_content(value).expect("serialization into Value cannot fail"),
+    )
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Supports the shapes the workspace uses: flat or nested object/array
+/// literals whose values are expressions, plus bare expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$val) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}

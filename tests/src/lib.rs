@@ -1,6 +1,7 @@
 //! Shared helpers for the cross-crate integration tests in `tests/`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use mhd_core::{
     BimodalEngine, CdcEngine, DedupReport, Deduplicator, EngineConfig, FbcEngine, MhdEngine,

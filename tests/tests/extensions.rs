@@ -2,9 +2,7 @@
 //! compact recipe encoding (Meister-style), persistent engine state, and
 //! the staged pipeline at scale.
 
-use mhd_core::{
-    pipeline, restore, Deduplicator, EngineConfig, HookIndex, MhdEngine,
-};
+use mhd_core::{pipeline, restore, Deduplicator, EngineConfig, HookIndex, MhdEngine};
 use mhd_integration::run_named;
 use mhd_store::{FileManifest, MemBackend};
 use mhd_workload::{Corpus, CorpusSpec};

@@ -19,9 +19,7 @@ fn mhd_survives_faults_at_every_offset() {
     for fault_at in 0..40u64 {
         let backend = FaultBackend::new(MemBackend::new(), fault_at);
         let mut engine = MhdEngine::new(backend, EngineConfig::new(512, 4)).expect("config");
-        let result = engine
-            .process_snapshot(&snap)
-            .and_then(|()| engine.finish().map(|_| ()));
+        let result = engine.process_snapshot(&snap).and_then(|()| engine.finish().map(|_| ()));
         if let Err(e) = result {
             failures += 1;
             assert!(matches!(e, EngineError::Store(_)), "unexpected error kind: {e}");
@@ -37,8 +35,7 @@ fn cdc_survives_faults_at_every_offset() {
     for fault_at in 0..40u64 {
         let backend = FaultBackend::new(MemBackend::new(), fault_at);
         let mut engine = CdcEngine::new(backend, EngineConfig::new(512, 4)).expect("config");
-        let result =
-            engine.process_snapshot(&snap).and_then(|()| engine.finish().map(|_| ()));
+        let result = engine.process_snapshot(&snap).and_then(|()| engine.finish().map(|_| ()));
         if let Err(e) = result {
             failures += 1;
             assert!(matches!(e, EngineError::Store(_)));

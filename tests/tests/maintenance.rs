@@ -62,8 +62,7 @@ fn compaction_skips_multi_container_layouts_safely() {
                 if file.path.starts_with("m0/d0") {
                     continue;
                 }
-                let restored =
-                    restore::restore_file(&mut substrate, &file.path).unwrap();
+                let restored = restore::restore_file(&mut substrate, &file.path).unwrap();
                 assert_eq!(restored, file.data, "{name} {}", file.path);
             }
         }
@@ -79,11 +78,8 @@ fn full_lifecycle_on_directory_backend() {
     let root = std::env::temp_dir().join(format!("mhd-maint-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let corpus = Corpus::generate(CorpusSpec::tiny(904));
-    let mut engine = MhdEngine::new(
-        DirBackend::create(&root).unwrap(),
-        EngineConfig::new(512, 8),
-    )
-    .unwrap();
+    let mut engine =
+        MhdEngine::new(DirBackend::create(&root).unwrap(), EngineConfig::new(512, 8)).unwrap();
     for s in &corpus.snapshots {
         engine.process_snapshot(s).unwrap();
     }
@@ -99,8 +95,7 @@ fn full_lifecycle_on_directory_backend() {
             if file.path.starts_with("m0/d0") {
                 continue;
             }
-            let restored =
-                restore::restore_file(engine.substrate_mut(), &file.path).unwrap();
+            let restored = restore::restore_file(engine.substrate_mut(), &file.path).unwrap();
             assert_eq!(restored, file.data, "{}", file.path);
         }
     }

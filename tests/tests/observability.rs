@@ -1,0 +1,77 @@
+//! The `mhd-obs` layer observed end to end: a pipelined BF-MHD run must
+//! light up the counters and stage timers wired through every crate, and
+//! the resulting snapshot must survive a JSON round trip.
+//!
+//! The obs registry is process-global, so this file keeps all assertions
+//! in one `#[test]` (the other integration-test binaries each get their
+//! own process and registry).
+
+use mhd_core::pipeline::run_pipelined;
+use mhd_core::{Deduplicator, EngineConfig, MhdEngine};
+use mhd_store::MemBackend;
+use mhd_workload::{Corpus, CorpusSpec};
+
+#[test]
+fn pipelined_mhd_run_populates_internal_metrics() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(1234));
+    // A manifest cache far smaller than the corpus's manifest population:
+    // duplicate detection must go through the Bloom filter and the on-disk
+    // Hook store, not just the RAM cache.
+    let config = EngineConfig { cache_manifests: 2, ..EngineConfig::new(512, 8) };
+    let mut engine = MhdEngine::new(MemBackend::new(), config).unwrap();
+    let n = run_pipelined(&mut engine, &corpus.snapshots, 2).unwrap();
+    let report = engine.finish().unwrap();
+    assert!(report.hhr_count > 0, "the corpus must exercise HHR");
+
+    let snap = mhd_obs::snapshot();
+    assert!(!snap.is_empty());
+
+    // Chunking: every input byte went through the boundary finder.
+    let chunks = snap.counter("chunking.chunks");
+    assert!(chunks > 0);
+    let sizes = snap.histogram("chunking.chunk_bytes").expect("chunk-size histogram");
+    assert_eq!(sizes.count, chunks);
+    assert_eq!(sizes.sum, corpus.total_bytes(), "chunk sizes must cover the input");
+    let cuts = snap.histogram("chunking.find_cuts_ns").expect("boundary-scan timer");
+    assert!(cuts.count > 0 && cuts.sum > 0);
+
+    // Hashing stage: same chunk population, non-zero occupancy.
+    assert_eq!(snap.counter("hashing.chunks"), chunks);
+    let hashing = snap.histogram("stage.hashing_ns").expect("hashing-stage timer");
+    assert!(hashing.count > 0 && hashing.sum > 0);
+
+    // Dedup stage ran once per file that produced a manifest.
+    let dedup = snap.histogram("stage.dedup_ns").expect("dedup-stage timer");
+    assert!(dedup.count > 0 && dedup.sum > 0);
+
+    // MHD events: hook hits feed BME/HHR; HHR fired per the report.
+    assert!(snap.counter("mhd.hook_hits") > 0);
+    assert_eq!(snap.counter("mhd.hhr_splits"), report.hhr_count);
+    assert!(snap.histogram("mhd.hhr_dup_bytes").is_some_and(|h| h.count == report.hhr_count));
+
+    // Bloom filter fronted the hook lookups.
+    assert!(snap.counter("bloom.inserts") > 0);
+    assert_eq!(
+        snap.counter("bloom.probes"),
+        snap.counter("bloom.maybe_hits") + snap.counter("bloom.negatives")
+    );
+
+    // Manifest cache observed both hits and misses on this corpus.
+    assert!(snap.counter("cache.manifest_hits") > 0);
+    assert!(snap.counter("cache.manifest_misses") > 0);
+
+    // Store backend wrote chunks and manifests.
+    assert!(snap.counter("store.disk_chunk_writes") > 0);
+    assert!(snap.counter("store.manifest_writes") > 0);
+
+    // Pipeline: every snapshot staged by the producer was processed.
+    assert_eq!(snap.counter("pipeline.snapshots_staged"), n as u64);
+    assert_eq!(snap.counter("pipeline.snapshots_processed"), n as u64);
+    let consumer = snap.histogram("pipeline.consumer_ns").expect("consumer occupancy");
+    assert_eq!(consumer.count, n as u64);
+
+    // The whole snapshot survives a JSON round trip bit-exactly.
+    let json = serde_json::to_string_pretty(&snap).unwrap();
+    let back: mhd_obs::Snapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+}

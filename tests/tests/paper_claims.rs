@@ -45,10 +45,7 @@ fn mhd_has_best_real_der() {
     for other in ["bimodal", "subchunk", "sparse-indexing"] {
         let (r, _) = run_named(other, &corpus, config());
         let real = compute(&r, &disk).real_der;
-        assert!(
-            mhd_real > real,
-            "BF-MHD real DER {mhd_real:.3} must beat {other}'s {real:.3}"
-        );
+        assert!(mhd_real > real, "BF-MHD real DER {mhd_real:.3} must beat {other}'s {real:.3}");
     }
 }
 
