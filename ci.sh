@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # The full local CI gate. Run before every push; everything must pass.
 #
-#   ./ci.sh          # tier-1 + style + lints + docs
+#   ./ci.sh          # tier-1 + feature matrix + style + lints + docs
 #   ./ci.sh tier1    # just the tier-1 gate (build + tests)
 #
 # Stages:
 #   1. tier-1: release build + full test suite (ROADMAP.md)
-#   2. rustfmt   — style, enforced via rustfmt.toml
-#   3. clippy    — all targets, warnings are errors
-#   4. rustdoc   — every public item documented, no broken links
+#   2. feature matrix — the obs-disabled workspace still builds
+#   3. rustfmt   — style, enforced via rustfmt.toml
+#   4. clippy    — all targets, warnings are errors
+#   5. rustdoc   — every public item documented, no broken links
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,6 +25,9 @@ if [[ "${1:-}" == "tier1" ]]; then
     echo "tier-1 gate passed."
     exit 0
 fi
+
+step "feature matrix: cargo build --workspace --no-default-features"
+cargo build --workspace --no-default-features
 
 step "cargo fmt --check"
 cargo fmt --check

@@ -64,4 +64,5 @@ fn main() {
 
     cli.write_json("ablation.json", &js);
     cli.write_internals("ablation_internals.json");
+    cli.write_trace();
 }

@@ -110,4 +110,5 @@ fn main() {
 
     cli.write_json("dataset.json", &js);
     cli.write_internals("dataset_internals.json");
+    cli.write_trace();
 }

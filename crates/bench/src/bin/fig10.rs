@@ -64,4 +64,5 @@ fn main() {
 
     cli.write_json("fig10.json", &results);
     cli.write_internals("fig10_internals.json");
+    cli.write_trace();
 }

@@ -56,4 +56,5 @@ fn main() {
 
     cli.write_json("fig7.json", &results);
     cli.write_internals("fig7_internals.json");
+    cli.write_trace();
 }

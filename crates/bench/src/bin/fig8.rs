@@ -69,4 +69,5 @@ fn main() {
 
     cli.write_json("fig8.json", &results);
     cli.write_internals("fig8_internals.json");
+    cli.write_trace();
 }

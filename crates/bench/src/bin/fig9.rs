@@ -58,4 +58,5 @@ fn main() {
 
     cli.write_json("fig9.json", &results);
     cli.write_internals("fig9_internals.json");
+    cli.write_trace();
 }

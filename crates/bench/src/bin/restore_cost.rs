@@ -88,4 +88,5 @@ fn main() {
 
     cli.write_json("restore_cost.json", &js);
     cli.write_internals("restore_cost_internals.json");
+    cli.write_trace();
 }

@@ -77,4 +77,5 @@ fn main() {
 
     cli.write_json("table1.json", &js);
     cli.write_internals("table1_internals.json");
+    cli.write_trace();
 }

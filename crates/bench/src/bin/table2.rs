@@ -71,4 +71,5 @@ fn main() {
 
     cli.write_json("table2.json", &js);
     cli.write_internals("table2_internals.json");
+    cli.write_trace();
 }

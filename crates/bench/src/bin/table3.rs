@@ -32,4 +32,5 @@ fn main() {
 
     cli.write_json("table3.json", &js);
     cli.write_internals("table3_internals.json");
+    cli.write_trace();
 }

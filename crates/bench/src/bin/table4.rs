@@ -38,4 +38,5 @@ fn main() {
 
     cli.write_json("table4.json", &js);
     cli.write_internals("table4_internals.json");
+    cli.write_trace();
 }

@@ -37,4 +37,5 @@ fn main() {
 
     cli.write_json("table5.json", &js);
     cli.write_internals("table5_internals.json");
+    cli.write_trace();
 }

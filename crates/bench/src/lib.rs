@@ -92,6 +92,9 @@ pub struct Cli {
     pub out: PathBuf,
     /// Also dump the `mhd-obs` internal-metrics snapshot (`--internals`).
     pub internals: bool,
+    /// Record a structured trace and write it here as Chrome
+    /// `trace_event` JSON, plus raw JSONL next to it (`--trace PATH`).
+    pub trace: Option<PathBuf>,
 }
 
 impl Cli {
@@ -104,6 +107,7 @@ impl Cli {
             sd: 16,
             out: PathBuf::from("results"),
             internals: false,
+            trace: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -119,9 +123,10 @@ impl Cli {
                 "--sd" => cli.sd = value().parse().expect("--sd takes an integer"),
                 "--out" => cli.out = PathBuf::from(value()),
                 "--internals" => cli.internals = true,
+                "--trace" => cli.trace = Some(PathBuf::from(value())),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--bytes N[M|G]] [--seed N] [--sd N] [--out DIR] [--internals]"
+                        "usage: [--bytes N[M|G]] [--seed N] [--sd N] [--out DIR] [--internals] [--trace PATH]"
                     );
                     std::process::exit(0);
                 }
@@ -130,6 +135,9 @@ impl Cli {
                     std::process::exit(2);
                 }
             }
+        }
+        if cli.trace.is_some() {
+            mhd_obs::trace_start(mhd_obs::DEFAULT_TRACE_CAPACITY);
         }
         cli
     }
@@ -171,6 +179,28 @@ impl Cli {
         if self.internals {
             self.write_json(name, &mhd_obs::snapshot());
         }
+    }
+
+    /// With `--trace PATH`, drains the recorded trace and writes it as
+    /// Chrome `trace_event` JSON at `PATH` plus raw JSONL at
+    /// `PATH.jsonl`. A no-op without the flag. Call once, at exhibit end.
+    pub fn write_trace(&self) {
+        let Some(path) = &self.trace else { return };
+        let records = mhd_obs::trace_drain();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create trace dir");
+            }
+        }
+        std::fs::write(path, mhd_obs::trace_to_chrome(&records)).expect("write chrome trace");
+        let jsonl = path.with_extension("jsonl");
+        std::fs::write(&jsonl, mhd_obs::trace_to_jsonl(&records)).expect("write jsonl trace");
+        eprintln!(
+            "wrote {} trace events to {} (+ {})",
+            records.len(),
+            path.display(),
+            jsonl.display()
+        );
     }
 }
 
@@ -216,7 +246,13 @@ pub struct RunResult {
 }
 
 /// Runs one engine over the corpus and computes the §V metrics.
+///
+/// The whole run executes under an `engine=<label>` attribution scope and
+/// trace stage, so multi-engine exhibits yield per-engine sub-snapshots
+/// (see `Snapshot::scopes`) and per-engine trace lanes.
 pub fn run_engine(kind: EngineKind, corpus: &Corpus, config: EngineConfig) -> RunResult {
+    let _scope = mhd_obs::scope!("engine={}", kind.label());
+    let _stage = mhd_obs::stage(format!("engine={}", kind.label()));
     let report = match kind {
         EngineKind::Mhd => {
             drive(MhdEngine::new(MemBackend::new(), config).expect("config"), corpus)

@@ -106,6 +106,7 @@ impl ManifestCache {
             if old.dirty {
                 mhd_obs::counter!("cache.dirty_writebacks").inc();
             }
+            mhd_obs::trace(mhd_obs::TraceEvent::CacheEvict { dirty: old.dirty });
             (old.manifest, old.dirty)
         })
     }

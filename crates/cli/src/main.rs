@@ -2,10 +2,11 @@
 //! Deduplication into a durable on-disk store.
 //!
 //! ```text
-//! mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]
+//! mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N] [--trace]
 //! mhd restore <name> --store <store> -o <path>
 //! mhd ls             --store <store>
-//! mhd stats          --store <store> [--internals]
+//! mhd stats          --store <store> [--internals [--pretty]]
+//! mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]
 //! ```
 //!
 //! Each `backup` run is one backup stream (like one of the paper's daily
@@ -23,7 +24,7 @@ use session::Session;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals]\n  mhd verify         --store <store> [--deep]\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]"
+        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N] [--trace]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals [--pretty]]\n  mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]\n  mhd verify         --store <store> [--deep]\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]"
     );
     std::process::exit(2)
 }
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "restore" => cmd_restore(&args[1..]),
         "ls" => cmd_ls(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "rm" => cmd_rm(&args[1..]),
         "gc" => cmd_gc(&args[1..]),
@@ -77,6 +79,10 @@ fn cmd_backup(args: &[String]) -> CliResult {
         String::from("snapshot")
     });
 
+    if args.iter().any(|a| a == "--trace") {
+        mhd_obs::trace_start(mhd_obs::DEFAULT_TRACE_CAPACITY);
+    }
+
     let mut session = Session::open(&store, ecs, sd)?;
     let stream = session.next_stream_index();
     let snapshot = session::snapshot_from_dir(Path::new(dir), &format!("{label}-{stream}"))?;
@@ -84,7 +90,11 @@ fn cmd_backup(args: &[String]) -> CliResult {
     let bytes: u64 = snapshot.files.iter().map(|f| f.data.len() as u64).sum();
 
     let before = session.ledger_output_bytes();
-    session.backup(&snapshot)?;
+    {
+        let _scope = mhd_obs::scope!("cmd=backup");
+        let _stage = mhd_obs::stage("backup");
+        session.backup(&snapshot)?;
+    }
     let after = session.ledger_output_bytes();
     session.close()?;
 
@@ -204,17 +214,94 @@ fn cmd_compact(args: &[String]) -> CliResult {
 }
 
 /// `mhd stats --internals`: dump the `mhd-obs` metrics snapshot persisted
-/// by the last mutating command (backup/rm/gc/compact) as JSON. Metrics
-/// are process-local, so a read-only `stats` invocation has none of its
-/// own — the persisted snapshot is the interesting one.
-fn print_internals(session: &Session) -> CliResult {
+/// by the last mutating command (backup/rm/gc/compact) as JSON, or as
+/// aligned human-readable tables with `--pretty`. Metrics are
+/// process-local, so a read-only `stats` invocation has none of its own —
+/// the persisted snapshot is the interesting one.
+fn print_internals(session: &Session, pretty: bool) -> CliResult {
     let Some(snapshot) = session.load_internals() else {
         return Err(
             "no internals snapshot in this store yet; run a mutating command (e.g. `mhd backup`) first"
                 .into(),
         );
     };
-    println!("{}", serde_json::to_string_pretty(&snapshot)?);
+    if pretty {
+        print_snapshot_tables(&snapshot, "");
+        for (label, sub) in &snapshot.scopes {
+            println!("\nscope {label}");
+            print_snapshot_tables(sub, "  ");
+        }
+    } else {
+        println!("{}", serde_json::to_string_pretty(&snapshot)?);
+    }
+    Ok(())
+}
+
+/// Prints one snapshot section (counters, then histograms with
+/// bucket-estimated percentiles) as aligned tables.
+fn print_snapshot_tables(snap: &mhd_obs::Snapshot, indent: &str) {
+    if !snap.counters.is_empty() {
+        let width = snap.counters.iter().map(|c| c.name.len()).max().unwrap_or(0);
+        println!("{indent}counters:");
+        for c in &snap.counters {
+            println!("{indent}  {:<width$}  {:>14}", c.name, c.value);
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let width =
+            snap.histograms.iter().map(|h| h.name.len()).max().unwrap_or(0).max("name".len());
+        println!("{indent}histograms:");
+        println!(
+            "{indent}  {:<width$}  {:>10} {:>14} {:>12} {:>12} {:>12} {:>12} {:>14}",
+            "name", "count", "mean", "p50", "p90", "p99", "min", "max"
+        );
+        for h in &snap.histograms {
+            println!(
+                "{indent}  {:<width$}  {:>10} {:>14.1} {:>12.1} {:>12.1} {:>12.1} {:>12} {:>14}",
+                h.name,
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.min,
+                h.max
+            );
+        }
+    }
+    if snap.counters.is_empty() && snap.histograms.is_empty() {
+        println!("{indent}(no metrics)");
+    }
+}
+
+/// `mhd trace`: export the trace persisted by the last `backup --trace`
+/// run, as Chrome `trace_event` JSON (default; loadable in
+/// `about:tracing`/Perfetto) or as the raw JSONL.
+fn cmd_trace(args: &[String]) -> CliResult {
+    let store = store_path(args)?;
+    let format = flag_value(args, "--format").unwrap_or_else(|| "chrome".to_string());
+    let out = flag_value(args, "-o").or_else(|| flag_value(args, "--output"));
+    let session = Session::open_readonly(&store)?;
+    let Some(records) = session.load_trace() else {
+        return Err("no trace in this store yet; run `mhd backup <dir> --trace` first".into());
+    };
+    let rendered = match format.as_str() {
+        "chrome" => mhd_obs::trace_to_chrome(&records),
+        "jsonl" => mhd_obs::trace_to_jsonl(&records),
+        other => return Err(format!("unknown trace format {other:?} (chrome|jsonl)").into()),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &rendered)?;
+            println!("wrote {} trace events ({format}) to {path}", records.len());
+        }
+        None => {
+            print!("{rendered}");
+            if !rendered.ends_with('\n') {
+                println!();
+            }
+        }
+    }
     Ok(())
 }
 
@@ -222,7 +309,7 @@ fn cmd_stats(args: &[String]) -> CliResult {
     let store = store_path(args)?;
     let session = Session::open_readonly(&store)?;
     if args.iter().any(|a| a == "--internals") {
-        return print_internals(&session);
+        return print_internals(&session, args.iter().any(|a| a == "--pretty"));
     }
     let report = session.report();
     println!("input bytes:      {}", report.input_bytes);

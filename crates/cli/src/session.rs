@@ -111,6 +111,14 @@ impl Session {
                 serde_json::to_string_pretty(&snap)?,
             )?;
         }
+        // Likewise the trace (when `--trace` armed it), for `mhd trace`.
+        let records = mhd_obs::trace_drain();
+        if !records.is_empty() {
+            std::fs::write(
+                self.root.join("session/trace.jsonl"),
+                mhd_obs::trace_to_jsonl(&records),
+            )?;
+        }
         Ok(())
     }
 
@@ -119,6 +127,13 @@ impl Session {
     pub fn load_internals(&self) -> Option<mhd_obs::Snapshot> {
         let data = std::fs::read(self.root.join("session/internals.json")).ok()?;
         serde_json::from_slice(&data).ok()
+    }
+
+    /// The trace persisted by the last `backup --trace` run (`None` when
+    /// no traced command has run against this store).
+    pub fn load_trace(&self) -> Option<Vec<mhd_obs::TraceRecord>> {
+        let data = std::fs::read_to_string(self.root.join("session/trace.jsonl")).ok()?;
+        mhd_obs::trace_from_jsonl(&data).ok()
     }
 
     /// Restores one file by recipe name.

@@ -74,6 +74,11 @@ pub fn chunk_and_hash(chunker: &RabinChunker, data: &Bytes) -> Vec<HashedChunk> 
     let spans = chunker.spans(data);
     let _timer = mhd_obs::span!("stage.hashing_ns");
     mhd_obs::counter!("hashing.chunks").add(spans.len() as u64);
+    if mhd_obs::tracing() {
+        for s in &spans {
+            mhd_obs::trace(mhd_obs::TraceEvent::ChunkEmitted { bytes: s.len as u64 });
+        }
+    }
     spans
         .par_iter()
         .map(|s| HashedChunk {

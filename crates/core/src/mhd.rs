@@ -154,6 +154,7 @@ impl<B: Backend> MhdEngine<B> {
                 match self.substrate.lookup_hook(hash)? {
                     Some(mid) => {
                         mhd_obs::counter!("mhd.hook_hits").inc();
+                        mhd_obs::trace(mhd_obs::TraceEvent::HookHit);
                         mid
                     }
                     None => {
@@ -166,6 +167,7 @@ impl<B: Backend> MhdEngine<B> {
                 Some(&mid) => {
                     // RAM lookup: no disk probe charged.
                     mhd_obs::counter!("mhd.hook_hits").inc();
+                    mhd_obs::trace(mhd_obs::TraceEvent::HookHit);
                     mid
                 }
                 None => return Ok(None),
@@ -366,6 +368,9 @@ impl<B: Backend> MhdEngine<B> {
                     is_hook: false,
                 });
             }
+        }
+        if mhd_obs::tracing() {
+            mhd_obs::trace(mhd_obs::TraceEvent::HhrSplit { parts: out.len() as u64 });
         }
         out
     }
@@ -609,6 +614,10 @@ impl<B: Backend> MhdEngine<B> {
                         mhd_obs::counter!("mhd.bme_extensions").inc();
                         mhd_obs::counter!("mhd.bme_chunks").add(bme_chunks);
                         mhd_obs::counter!("mhd.bme_bytes").add(bme_bytes);
+                        mhd_obs::trace(mhd_obs::TraceEvent::BmeExtend {
+                            dir: mhd_obs::ExtendDir::Backward,
+                            chunks: bme_chunks,
+                        });
                     }
                     // Everything left in the buffer is confirmed
                     // non-duplicate; it precedes the dup region in file
@@ -651,6 +660,10 @@ impl<B: Backend> MhdEngine<B> {
                         mhd_obs::counter!("mhd.fme_extensions").inc();
                         mhd_obs::counter!("mhd.fme_chunks").add(consumed as u64);
                         mhd_obs::counter!("mhd.fme_bytes").add(fme_bytes);
+                        mhd_obs::trace(mhd_obs::TraceEvent::BmeExtend {
+                            dir: mhd_obs::ExtendDir::Forward,
+                            chunks: consumed as u64,
+                        });
                     }
                     for ext in fme_extents {
                         fm.push(ext);

@@ -35,7 +35,12 @@ pub fn run_pipelined<D: Deduplicator>(
         // the engine, which already uses rayon. Staging through the
         // channel lets the OS schedule generation-side work (e.g. a
         // streaming corpus source) ahead of the dedup cursor.
+        let scope_labels = mhd_obs::scope_labels();
         let producer = scope.spawn(move || {
+            // Keep the caller's metric attribution (e.g. `engine=mhd`)
+            // on this helper thread.
+            let _scopes = mhd_obs::enter_scopes(&scope_labels);
+            let _stage = mhd_obs::stage("pipeline.producer");
             for snapshot in snapshots {
                 let _timer = mhd_obs::span!("pipeline.producer_send_ns");
                 if tx.send(snapshot.clone()).is_err() {
@@ -47,6 +52,7 @@ pub fn run_pipelined<D: Deduplicator>(
 
         let mut processed = 0usize;
         let mut result: EngineResult<()> = Ok(());
+        let _stage = mhd_obs::stage("pipeline.consumer");
         for snapshot in rx.iter() {
             let _timer = mhd_obs::span!("pipeline.consumer_ns");
             if let Err(e) = engine.process_snapshot(&snapshot) {

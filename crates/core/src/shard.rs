@@ -59,13 +59,25 @@ impl<B: Backend + Send> ShardedMhd<B> {
         for s in snapshots {
             work[s.machine % n].push(s);
         }
+        let scope_labels = mhd_obs::scope_labels();
         let results: Vec<EngineResult<()>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
                 .zip(work)
-                .map(|(shard, streams)| {
+                .enumerate()
+                .map(|(idx, (shard, streams))| {
+                    let scope_labels = scope_labels.clone();
                     scope.spawn(move || {
+                        // Parent attribution first (e.g. `engine=mhd`),
+                        // then this shard's own label, so per-shard
+                        // occupancy and queue imbalance are visible in
+                        // the snapshot's scope section.
+                        let _parent = mhd_obs::enter_scopes(&scope_labels);
+                        let _scope = mhd_obs::scope!("shard={idx}");
+                        let _stage = mhd_obs::stage(format!("shard={idx}"));
+                        let _timer = mhd_obs::span!("shard.batch_ns");
+                        mhd_obs::histogram!("shard.batch_streams").record(streams.len() as u64);
                         for s in streams {
                             shard.process_snapshot(s)?;
                         }

@@ -12,15 +12,18 @@ use crate::{bucket_index, CounterSnapshot, HistogramSnapshot, Snapshot, BUCKETS}
 /// Increments are `Relaxed` atomic adds: cross-thread visibility of exact
 /// intermediate values is not needed, only the final tally (reads in
 /// [`snapshot`] see every increment that happened-before the snapshot
-/// call).
+/// call). When an attribution [`Scope`](crate::Scope) is live on the
+/// recording thread, the delta is also propagated to the scope's
+/// sub-registry.
 #[derive(Debug)]
 pub struct Counter {
+    name: &'static str,
     value: AtomicU64,
 }
 
 impl Counter {
-    fn new() -> Self {
-        Counter { value: AtomicU64::new(0) }
+    fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0) }
     }
 
     /// Adds 1.
@@ -32,6 +35,16 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        self.add_unscoped(n);
+        if crate::scope::any_active() {
+            crate::scope::propagate_counter(self.name, n);
+        }
+    }
+
+    /// Adds `n` without scope propagation — what the scope layer calls on
+    /// its own sub-registry instances (propagating those would recurse).
+    #[inline]
+    pub(crate) fn add_unscoped(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -47,9 +60,12 @@ impl Counter {
 }
 
 /// A log₂-bucketed distribution of `u64` values (sizes in bytes, latencies
-/// in nanoseconds), with count, saturating sum, min and max.
+/// in nanoseconds), with count, saturating sum, min and max. Like
+/// [`Counter`], records propagate to any live attribution scope on the
+/// recording thread.
 #[derive(Debug)]
 pub struct Histogram {
+    name: &'static str,
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
@@ -58,8 +74,9 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new() -> Self {
+    fn new(name: &'static str) -> Self {
         Histogram {
+            name,
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
@@ -71,6 +88,15 @@ impl Histogram {
     /// Records one value.
     #[inline]
     pub fn record(&self, value: u64) {
+        self.record_unscoped(value);
+        if crate::scope::any_active() {
+            crate::scope::propagate_histogram(self.name, value);
+        }
+    }
+
+    /// Records without scope propagation — what the scope layer calls on
+    /// its own sub-registry instances (propagating those would recurse).
+    pub(crate) fn record_unscoped(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         // Saturate rather than wrap: a u64 nanosecond sum overflows only
@@ -148,22 +174,59 @@ impl Drop for Span {
     }
 }
 
-/// The global registry: name → leaked metric. Metrics live for the process
-/// lifetime so hot paths hold plain `&'static` handles and never lock.
-struct Registry {
+/// A name → leaked-metric registry. One global instance backs the public
+/// `counter()`/`histogram()` entry points; the scope layer keeps one more
+/// per attribution label. Metrics live for the process lifetime so hot
+/// paths hold plain `&'static` handles and never lock.
+pub(crate) struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
 }
 
-fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(|| Registry {
-        counters: Mutex::new(BTreeMap::new()),
-        histograms: Mutex::new(BTreeMap::new()),
-    })
+impl Registry {
+    pub(crate) fn new() -> Registry {
+        Registry { counters: Mutex::new(BTreeMap::new()), histograms: Mutex::new(BTreeMap::new()) }
+    }
+
+    pub(crate) fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = lock_ignore_poison(&self.counters);
+        map.entry(name).or_insert_with(|| Box::leak(Box::new(Counter::new(name))))
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = lock_ignore_poison(&self.histograms);
+        map.entry(name).or_insert_with(|| Box::leak(Box::new(Histogram::new(name))))
+    }
+
+    /// Copies this registry's metrics into a [`Snapshot`] with no scope
+    /// section (sub-snapshots are flat), sorted by name.
+    pub(crate) fn snapshot_flat(&self) -> Snapshot {
+        let counters = lock_ignore_poison(&self.counters)
+            .iter()
+            .map(|(name, c)| CounterSnapshot { name: name.to_string(), value: c.value() })
+            .collect();
+        let histograms =
+            lock_ignore_poison(&self.histograms).iter().map(|(name, h)| h.snapshot(name)).collect();
+        Snapshot { counters, histograms, scopes: Vec::new() }
+    }
+
+    /// Zeroes every metric (names stay registered).
+    pub(crate) fn reset(&self) {
+        for c in lock_ignore_poison(&self.counters).values() {
+            c.reset();
+        }
+        for h in lock_ignore_poison(&self.histograms).values() {
+            h.reset();
+        }
+    }
 }
 
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -172,8 +235,7 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// Prefer the [`crate::counter!`] macro in hot paths — it caches the
 /// lookup per call site.
 pub fn counter(name: &'static str) -> &'static Counter {
-    let mut map = lock_ignore_poison(&registry().counters);
-    map.entry(name).or_insert_with(|| Box::leak(Box::new(Counter::new())))
+    registry().counter(name)
 }
 
 /// Returns (registering on first use) the histogram named `name`.
@@ -181,33 +243,24 @@ pub fn counter(name: &'static str) -> &'static Counter {
 /// Prefer the [`crate::histogram!`] macro in hot paths — it caches the
 /// lookup per call site.
 pub fn histogram(name: &'static str) -> &'static Histogram {
-    let mut map = lock_ignore_poison(&registry().histograms);
-    map.entry(name).or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+    registry().histogram(name)
 }
 
 /// Copies every registered metric into a serializable [`Snapshot`],
-/// sorted by name.
+/// sorted by name, including one sub-snapshot per attribution scope label
+/// (see [`crate::scope!`]).
 pub fn snapshot() -> Snapshot {
-    let counters = lock_ignore_poison(&registry().counters)
-        .iter()
-        .map(|(name, c)| CounterSnapshot { name: name.to_string(), value: c.value() })
-        .collect();
-    let histograms = lock_ignore_poison(&registry().histograms)
-        .iter()
-        .map(|(name, h)| h.snapshot(name))
-        .collect();
-    Snapshot { counters, histograms }
+    let mut snap = registry().snapshot_flat();
+    snap.scopes = crate::scope::scope_snapshots();
+    snap
 }
 
-/// Zeroes every registered metric (names stay registered). Used by benches
-/// to isolate phases and by tests.
+/// Zeroes every registered metric, scoped ones included (names and scope
+/// labels stay registered). Used by benches to isolate phases and by
+/// tests.
 pub fn reset() {
-    for c in lock_ignore_poison(&registry().counters).values() {
-        c.reset();
-    }
-    for h in lock_ignore_poison(&registry().histograms).values() {
-        h.reset();
-    }
+    registry().reset();
+    crate::scope::reset_scopes();
 }
 
 #[cfg(test)]

@@ -1,0 +1,559 @@
+//! Structured trace events: the "when and where" companion to the
+//! aggregate metrics.
+//!
+//! Counters say a run had 10 000 Hook hits; a trace says *when* they
+//! fired relative to stage boundaries and on which thread. Events are
+//! typed ([`TraceEvent`]), timestamped against a process-wide monotonic
+//! epoch, and collected into bounded per-thread ring buffers — recording
+//! never blocks on another thread's buffer, and an overfull buffer drops
+//! its oldest events (tallied in the `trace.dropped` counter) rather than
+//! growing without bound.
+//!
+//! Tracing is off (one relaxed load per would-be event) until
+//! [`trace_start`] arms it; [`trace_drain`] collects the merged,
+//! time-sorted record list. Two export formats:
+//!
+//! * [`trace_to_jsonl`] / [`trace_from_jsonl`] — one JSON object per
+//!   line, the lossless round-trip format;
+//! * [`trace_to_chrome`] — Chrome `trace_event` JSON (the
+//!   `{"traceEvents": [...]}` envelope), loadable in `about:tracing` or
+//!   [Perfetto](https://ui.perfetto.dev): stages become `B`/`E` duration
+//!   pairs, point events become thread-scoped instants.
+//!
+//! With the `obs` feature off, recording compiles to nothing; the data
+//! model and exporters stay available so tooling that *reads* traces
+//! builds in every configuration.
+
+use serde::{Content, Deserialize, Serialize};
+
+/// Direction of a match extension ([`TraceEvent::BmeExtend`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtendDir {
+    /// Backward match extension (BME) — extending a manifest match toward
+    /// earlier chunks.
+    Backward,
+    /// Forward match extension (FME) — extending toward later chunks.
+    Forward,
+}
+
+/// One typed trace event. Variants mirror the MHD-specific mechanisms
+/// (Hooks, BME/FME, HHR) plus the generic pipeline machinery; see
+/// DESIGN.md for the event glossary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The chunker emitted one content-defined chunk of `bytes` bytes.
+    ChunkEmitted {
+        /// Chunk length in bytes.
+        bytes: u64,
+    },
+    /// A sampled hash matched a Hook (Bloom filter or sparse index hit).
+    HookHit,
+    /// A manifest match was extended by `chunks` chunks in direction
+    /// `dir` (BME backward, FME forward).
+    BmeExtend {
+        /// Extension direction.
+        dir: ExtendDir,
+        /// Number of chunks the match grew by.
+        chunks: u64,
+    },
+    /// Hysteresis re-chunking split one chunk into `parts` parts.
+    HhrSplit {
+        /// Number of pieces the chunk was split into.
+        parts: u64,
+    },
+    /// The manifest cache evicted an entry (`dirty` = it needed
+    /// write-back).
+    CacheEvict {
+        /// Whether the evicted entry was dirty.
+        dirty: bool,
+    },
+    /// A named processing stage began (paired with [`TraceEvent::StageEnd`]
+    /// by stage name; emitted by [`stage`] guards).
+    StageBegin {
+        /// Stage name, e.g. `"engine=mhd"` or `"backup"`.
+        stage: String,
+    },
+    /// A named processing stage ended.
+    StageEnd {
+        /// Stage name matching the earlier `StageBegin`.
+        stage: String,
+    },
+}
+
+impl TraceEvent {
+    /// The variant name — the `"type"` field in serialized form and the
+    /// instant name in Chrome exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ChunkEmitted { .. } => "ChunkEmitted",
+            TraceEvent::HookHit => "HookHit",
+            TraceEvent::BmeExtend { .. } => "BmeExtend",
+            TraceEvent::HhrSplit { .. } => "HhrSplit",
+            TraceEvent::CacheEvict { .. } => "CacheEvict",
+            TraceEvent::StageBegin { .. } => "StageBegin",
+            TraceEvent::StageEnd { .. } => "StageEnd",
+        }
+    }
+}
+
+// Serialized as a flat map tagged by a "type" field:
+// {"type":"BmeExtend","dir":"Backward","chunks":3}. Hand-written because
+// the serde facade's derive covers only unit enums.
+impl Serialize for TraceEvent {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map: Vec<(String, Content)> = Vec::with_capacity(3);
+        map.push(("type".to_string(), Content::Str(self.kind().to_string())));
+        match self {
+            TraceEvent::ChunkEmitted { bytes } => {
+                map.push(("bytes".to_string(), Content::U64(*bytes)));
+            }
+            TraceEvent::HookHit => {}
+            TraceEvent::BmeExtend { dir, chunks } => {
+                let dir = match dir {
+                    ExtendDir::Backward => "Backward",
+                    ExtendDir::Forward => "Forward",
+                };
+                map.push(("dir".to_string(), Content::Str(dir.to_string())));
+                map.push(("chunks".to_string(), Content::U64(*chunks)));
+            }
+            TraceEvent::HhrSplit { parts } => {
+                map.push(("parts".to_string(), Content::U64(*parts)));
+            }
+            TraceEvent::CacheEvict { dirty } => {
+                map.push(("dirty".to_string(), Content::Bool(*dirty)));
+            }
+            TraceEvent::StageBegin { stage } | TraceEvent::StageEnd { stage } => {
+                map.push(("stage".to_string(), Content::Str(stage.clone())));
+            }
+        }
+        serializer.serialize_content(Content::Map(map))
+    }
+}
+
+impl<'de> Deserialize<'de> for TraceEvent {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut map = match deserializer.deserialize_content()? {
+            Content::Map(m) => m,
+            _ => return Err(serde::de::Error::custom("expected map for TraceEvent")),
+        };
+        let mut take =
+            |key: &str| map.iter().position(|(k, _)| k == key).map(|i| map.swap_remove(i).1);
+        let field = |content: Option<Content>, name: &str| {
+            content.ok_or_else(|| {
+                serde::de::Error::custom(format!("missing field `{name}` in TraceEvent"))
+            })
+        };
+        let kind = match field(take("type"), "type")? {
+            Content::Str(s) => s,
+            _ => return Err(serde::de::Error::custom("TraceEvent `type` must be a string")),
+        };
+        fn de<'a, T: Deserialize<'a>, E: serde::de::Error>(content: Content) -> Result<T, E> {
+            Deserialize::deserialize(content).map_err(serde::de::lift_err)
+        }
+        match kind.as_str() {
+            "ChunkEmitted" => {
+                Ok(TraceEvent::ChunkEmitted { bytes: de(field(take("bytes"), "bytes")?)? })
+            }
+            "HookHit" => Ok(TraceEvent::HookHit),
+            "BmeExtend" => Ok(TraceEvent::BmeExtend {
+                dir: de(field(take("dir"), "dir")?)?,
+                chunks: de(field(take("chunks"), "chunks")?)?,
+            }),
+            "HhrSplit" => Ok(TraceEvent::HhrSplit { parts: de(field(take("parts"), "parts")?)? }),
+            "CacheEvict" => {
+                Ok(TraceEvent::CacheEvict { dirty: de(field(take("dirty"), "dirty")?)? })
+            }
+            "StageBegin" => {
+                Ok(TraceEvent::StageBegin { stage: de(field(take("stage"), "stage")?)? })
+            }
+            "StageEnd" => Ok(TraceEvent::StageEnd { stage: de(field(take("stage"), "stage")?)? }),
+            other => Err(serde::de::Error::custom(format!("unknown TraceEvent type {other:?}"))),
+        }
+    }
+}
+
+/// One recorded event: what happened, when (nanoseconds since the trace
+/// epoch established by [`trace_start`]) and on which recording thread
+/// (small dense ids, first-trace order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotonic nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Dense id of the recording thread.
+    pub tid: u32,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(feature = "obs")]
+mod rt {
+    use std::cell::OnceCell;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    use super::{TraceEvent, TraceRecord};
+    use crate::enabled::lock_ignore_poison;
+
+    /// Default per-thread ring capacity for [`trace_start`] callers that
+    /// don't need tuning (≈ a few MB per busy thread, worst case).
+    pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+    static TRACING: AtomicBool = AtomicBool::new(false);
+    static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_TRACE_CAPACITY);
+    static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    /// One thread's bounded ring. The mutex is uncontended in steady
+    /// state (only the owning thread pushes; drains are rare), so
+    /// recording is effectively lock-free.
+    struct ThreadBuf {
+        tid: u32,
+        events: Mutex<VecDeque<TraceRecord>>,
+    }
+
+    fn bufs() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+        static BUFS: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+        BUFS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static LOCAL: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
+    }
+
+    /// Arms tracing with the given per-thread ring capacity (clamped to
+    /// ≥ 1; pass [`DEFAULT_TRACE_CAPACITY`] when in doubt), clearing any
+    /// events left from an earlier tracing window.
+    pub fn trace_start(capacity: usize) {
+        let _ = epoch(); // pin the epoch before the first event
+        CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+        for buf in lock_ignore_poison(bufs()).iter() {
+            lock_ignore_poison(&buf.events).clear();
+        }
+        TRACING.store(true, Ordering::Release);
+    }
+
+    /// Disarms tracing; already-recorded events stay drainable.
+    pub fn trace_stop() {
+        TRACING.store(false, Ordering::Release);
+    }
+
+    /// Whether tracing is armed — guard for callers that must do work
+    /// (formatting, counting) before [`trace`].
+    #[inline]
+    pub fn tracing() -> bool {
+        TRACING.load(Ordering::Relaxed)
+    }
+
+    /// Records one event on the current thread's ring (a no-op unless
+    /// [`trace_start`] armed tracing). When the ring is full the oldest
+    /// event is dropped and `trace.dropped` incremented.
+    pub fn trace(event: TraceEvent) {
+        if !tracing() {
+            return;
+        }
+        let ts_ns = epoch().elapsed().as_nanos() as u64;
+        // try_with: never panic during TLS teardown at thread exit.
+        let _ = LOCAL.try_with(|cell| {
+            let buf = cell.get_or_init(|| {
+                let buf = Arc::new(ThreadBuf {
+                    tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                    events: Mutex::new(VecDeque::new()),
+                });
+                lock_ignore_poison(bufs()).push(Arc::clone(&buf));
+                buf
+            });
+            let mut ring = lock_ignore_poison(&buf.events);
+            if ring.len() >= CAPACITY.load(Ordering::Relaxed) {
+                ring.pop_front();
+                crate::counter!("trace.dropped").inc();
+            }
+            ring.push_back(TraceRecord { ts_ns, tid: buf.tid, event });
+        });
+    }
+
+    /// Drains every thread's ring into one list sorted by timestamp
+    /// (ties broken by thread id). Draining does not disarm tracing.
+    pub fn trace_drain() -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for buf in lock_ignore_poison(bufs()).iter() {
+            out.extend(lock_ignore_poison(&buf.events).drain(..));
+        }
+        out.sort_by_key(|r| (r.ts_ns, r.tid));
+        out
+    }
+
+    /// RAII guard emitting a [`TraceEvent::StageBegin`] /
+    /// [`TraceEvent::StageEnd`] pair around a scope (built by [`stage`]).
+    #[must_use = "a TraceStage emits StageEnd on drop; binding it to `_` drops immediately"]
+    #[derive(Debug)]
+    pub struct TraceStage {
+        stage: Option<String>,
+    }
+
+    /// Opens a named stage: emits `StageBegin` now and `StageEnd` when
+    /// the returned guard drops. When tracing is disarmed the name is
+    /// never materialized and nothing is recorded.
+    pub fn stage(name: impl Into<String>) -> TraceStage {
+        if !tracing() {
+            return TraceStage { stage: None };
+        }
+        let name = name.into();
+        trace(TraceEvent::StageBegin { stage: name.clone() });
+        TraceStage { stage: Some(name) }
+    }
+
+    impl Drop for TraceStage {
+        fn drop(&mut self) {
+            if let Some(stage) = self.stage.take() {
+                trace(TraceEvent::StageEnd { stage });
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod rt {
+    use super::{TraceEvent, TraceRecord};
+
+    /// Default per-thread ring capacity (unused with the `obs` feature
+    /// off).
+    pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+    /// Does nothing with the `obs` feature off.
+    #[inline]
+    pub fn trace_start(_capacity: usize) {}
+
+    /// Does nothing with the `obs` feature off.
+    #[inline]
+    pub fn trace_stop() {}
+
+    /// Always `false` with the `obs` feature off.
+    #[inline]
+    pub fn tracing() -> bool {
+        false
+    }
+
+    /// Does nothing with the `obs` feature off.
+    #[inline]
+    pub fn trace(_event: TraceEvent) {}
+
+    /// Always empty with the `obs` feature off.
+    #[inline]
+    pub fn trace_drain() -> Vec<TraceRecord> {
+        Vec::new()
+    }
+
+    /// No-op stand-in for the enabled `TraceStage`: zero-sized.
+    #[must_use = "a TraceStage emits StageEnd on drop; binding it to `_` drops immediately"]
+    #[derive(Debug)]
+    pub struct TraceStage;
+
+    /// Returns the zero-sized guard; `name` is never evaluated into a
+    /// `String`.
+    #[inline]
+    pub fn stage(name: impl Into<String>) -> TraceStage {
+        let _ = name;
+        TraceStage
+    }
+}
+
+pub use rt::*;
+
+/// Serializes records as JSON Lines — one compact object per line, the
+/// lossless round-trip format ([`trace_from_jsonl`] is the inverse).
+pub fn trace_to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(
+            &serde_json::to_string(record).expect("trace record serialization cannot fail"),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSON Lines produced by [`trace_to_jsonl`] (blank lines are
+/// skipped).
+pub fn trace_from_jsonl(input: &str) -> Result<Vec<TraceRecord>, serde_json::Error> {
+    input.lines().filter(|line| !line.trim().is_empty()).map(serde_json::from_str).collect()
+}
+
+/// Serializes records as Chrome `trace_event` JSON — the
+/// `{"traceEvents": [...]}` envelope `about:tracing` and Perfetto load.
+/// Stage pairs become `B`/`E` duration events named by the stage string;
+/// point events become thread-scoped instants (`ph: "i"`, `s: "t"`)
+/// named by [`TraceEvent::kind`] with their fields under `args`.
+/// Timestamps are microseconds (fractional — the format allows it).
+pub fn trace_to_chrome(records: &[TraceRecord]) -> String {
+    let events: Vec<serde_json::Value> = records.iter().map(chrome_event).collect();
+    serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
+        .expect("chrome trace serialization cannot fail")
+}
+
+fn chrome_event(record: &TraceRecord) -> serde_json::Value {
+    use serde_json::{Number, Value};
+    let (name, ph) = match &record.event {
+        TraceEvent::StageBegin { stage } => (stage.clone(), "B"),
+        TraceEvent::StageEnd { stage } => (stage.clone(), "E"),
+        other => (other.kind().to_string(), "i"),
+    };
+    let mut fields: Vec<(String, Value)> = vec![
+        ("name".to_string(), Value::String(name)),
+        ("ph".to_string(), Value::String(ph.to_string())),
+        ("ts".to_string(), Value::Number(Number::F64(record.ts_ns as f64 / 1000.0))),
+        ("pid".to_string(), Value::Number(Number::U64(1))),
+        ("tid".to_string(), Value::Number(Number::U64(record.tid as u64))),
+    ];
+    if ph == "i" {
+        fields.push(("s".to_string(), Value::String("t".to_string())));
+        let args: Vec<(String, Value)> = match &record.event {
+            TraceEvent::ChunkEmitted { bytes } => {
+                vec![("bytes".to_string(), Value::Number(Number::U64(*bytes)))]
+            }
+            TraceEvent::BmeExtend { dir, chunks } => vec![
+                (
+                    "dir".to_string(),
+                    Value::String(
+                        match dir {
+                            ExtendDir::Backward => "Backward",
+                            ExtendDir::Forward => "Forward",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                ("chunks".to_string(), Value::Number(Number::U64(*chunks))),
+            ],
+            TraceEvent::HhrSplit { parts } => {
+                vec![("parts".to_string(), Value::Number(Number::U64(*parts)))]
+            }
+            TraceEvent::CacheEvict { dirty } => {
+                vec![("dirty".to_string(), Value::Bool(*dirty))]
+            }
+            _ => Vec::new(),
+        };
+        fields.push(("args".to_string(), Value::Object(args)));
+    }
+    Value::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                ts_ns: 10,
+                tid: 0,
+                event: TraceEvent::StageBegin { stage: "engine=mhd".to_string() },
+            },
+            TraceRecord { ts_ns: 20, tid: 0, event: TraceEvent::ChunkEmitted { bytes: 4096 } },
+            TraceRecord { ts_ns: 30, tid: 1, event: TraceEvent::HookHit },
+            TraceRecord {
+                ts_ns: 40,
+                tid: 1,
+                event: TraceEvent::BmeExtend { dir: ExtendDir::Backward, chunks: 3 },
+            },
+            TraceRecord { ts_ns: 50, tid: 0, event: TraceEvent::HhrSplit { parts: 2 } },
+            TraceRecord { ts_ns: 60, tid: 1, event: TraceEvent::CacheEvict { dirty: true } },
+            TraceRecord {
+                ts_ns: 70,
+                tid: 0,
+                event: TraceEvent::StageEnd { stage: "engine=mhd".to_string() },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let records = sample_records();
+        let jsonl = trace_to_jsonl(&records);
+        assert_eq!(jsonl.lines().count(), records.len());
+        let back = trace_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, records);
+        // Blank lines are tolerated.
+        let padded = format!("\n{jsonl}\n\n");
+        assert_eq!(trace_from_jsonl(&padded).unwrap(), records);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(trace_from_jsonl("{\"not\":\"a record\"}").is_err());
+        assert!(trace_from_jsonl("nonsense").is_err());
+        let unknown = r#"{"ts_ns":1,"tid":0,"event":{"type":"Mystery"}}"#;
+        assert!(trace_from_jsonl(unknown).is_err());
+    }
+
+    #[test]
+    fn chrome_export_is_well_formed() {
+        let records = sample_records();
+        let chrome = trace_to_chrome(&records);
+        let doc: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+        let serde_json::Value::Object(fields) = &doc else { panic!("not an object") };
+        let events = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents key");
+        let serde_json::Value::Array(events) = events else { panic!("not an array") };
+        assert_eq!(events.len(), records.len());
+        let mut begins = 0;
+        let mut ends = 0;
+        for event in events {
+            let serde_json::Value::Object(e) = event else { panic!("event not an object") };
+            let get = |k: &str| e.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+            for required in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(get(required).is_some(), "missing {required}");
+            }
+            match get("ph").unwrap() {
+                serde_json::Value::String(ph) => match ph.as_str() {
+                    "B" => begins += 1,
+                    "E" => ends += 1,
+                    "i" => assert!(get("args").is_some(), "instants carry args"),
+                    other => panic!("unexpected phase {other}"),
+                },
+                _ => panic!("ph not a string"),
+            }
+        }
+        // Every stage opens and closes.
+        assert_eq!(begins, 1);
+        assert_eq!(begins, ends);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn runtime_records_drains_and_bounds() {
+        // One test fn for all runtime behaviour: the ring state is
+        // process-global and tests run concurrently.
+        assert!(!tracing());
+        trace(TraceEvent::HookHit); // disarmed: ignored
+        trace_start(4);
+        assert!(tracing());
+        {
+            let _stage = stage("unit-test");
+            for i in 0..3 {
+                trace(TraceEvent::ChunkEmitted { bytes: i });
+            }
+        }
+        // 5 events on a capacity-4 ring: the oldest fell off.
+        let records = trace_drain();
+        assert_eq!(records.len(), 4);
+        assert!(records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns), "sorted by time");
+        assert!(matches!(records.last().unwrap().event, TraceEvent::StageEnd { .. }));
+        assert!(crate::counter("trace.dropped").value() >= 1);
+        // Drained: nothing left.
+        assert!(trace_drain().is_empty());
+        // Disarmed stage guards record nothing.
+        trace_stop();
+        {
+            let _stage = stage("disarmed");
+        }
+        assert!(trace_drain().is_empty());
+    }
+}

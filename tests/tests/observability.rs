@@ -1,18 +1,40 @@
 //! The `mhd-obs` layer observed end to end: a pipelined BF-MHD run must
-//! light up the counters and stage timers wired through every crate, and
-//! the resulting snapshot must survive a JSON round trip.
+//! light up the counters and stage timers wired through every crate; two
+//! concurrent scoped runs must partition cleanly (per-scope sums equal
+//! the global delta); a sharded fleet must attribute per-shard occupancy;
+//! a multi-engine exhibit must yield per-engine sub-snapshots; and the
+//! recorded trace must round-trip through JSONL and export well-formed
+//! Chrome `trace_event` JSON.
 //!
-//! The obs registry is process-global, so this file keeps all assertions
-//! in one `#[test]` (the other integration-test binaries each get their
-//! own process and registry).
+//! The obs registry, scope table and trace rings are process-global, so
+//! this file keeps all assertions in one `#[test]` running the phases in
+//! a fixed order (the other integration-test binaries each get their own
+//! process and registry).
 
+use mhd_bench::{run_engine, scaled_config, EngineKind};
 use mhd_core::pipeline::run_pipelined;
+use mhd_core::shard::ShardedMhd;
 use mhd_core::{Deduplicator, EngineConfig, MhdEngine};
 use mhd_store::MemBackend;
 use mhd_workload::{Corpus, CorpusSpec};
 
+/// Counters recorded on the engine-driving threads — the set whose
+/// per-scope values must sum to the global delta when every run is
+/// scoped.
+const PARTITIONED_COUNTERS: [&str; 6] = [
+    "chunking.chunks",
+    "hashing.chunks",
+    "mhd.hook_hits",
+    "pipeline.snapshots_processed",
+    "store.disk_chunk_writes",
+    "cache.manifest_inserts",
+];
+
 #[test]
 fn pipelined_mhd_run_populates_internal_metrics() {
+    mhd_obs::trace_start(mhd_obs::DEFAULT_TRACE_CAPACITY);
+
+    // ---- Phase 1: unscoped pipelined run lights up every crate. ----
     let corpus = Corpus::generate(CorpusSpec::tiny(1234));
     // A manifest cache far smaller than the corpus's manifest population:
     // duplicate detection must go through the Bloom filter and the on-disk
@@ -70,8 +92,149 @@ fn pipelined_mhd_run_populates_internal_metrics() {
     let consumer = snap.histogram("pipeline.consumer_ns").expect("consumer occupancy");
     assert_eq!(consumer.count, n as u64);
 
+    // No scope was entered yet: the snapshot has no scope section.
+    assert!(snap.scopes.is_empty(), "unscoped run must not invent scopes");
+
     // The whole snapshot survives a JSON round trip bit-exactly.
     let json = serde_json::to_string_pretty(&snap).unwrap();
     let back: mhd_obs::Snapshot = serde_json::from_str(&json).unwrap();
     assert_eq!(back, snap);
+
+    // ---- Phase 2: two concurrent scoped pipelined runs partition. ----
+    let baseline = snap;
+    let corpora =
+        [Corpus::generate(CorpusSpec::tiny(4321)), Corpus::generate(CorpusSpec::tiny(5432))];
+    std::thread::scope(|ts| {
+        for (i, corpus) in corpora.iter().enumerate() {
+            ts.spawn(move || {
+                let _scope = mhd_obs::scope!("run={i}");
+                let config = EngineConfig { cache_manifests: 2, ..EngineConfig::new(512, 8) };
+                let mut engine = MhdEngine::new(MemBackend::new(), config).unwrap();
+                run_pipelined(&mut engine, &corpus.snapshots, 2).unwrap();
+                engine.finish().unwrap();
+            });
+        }
+    });
+    let after = mhd_obs::snapshot();
+    let delta = after.diff(&baseline);
+    let run0 = after.scope("run=0").expect("run=0 sub-snapshot");
+    let run1 = after.scope("run=1").expect("run=1 sub-snapshot");
+    for name in PARTITIONED_COUNTERS {
+        assert!(run0.counter(name) > 0, "{name} must fire in run=0");
+        assert!(run1.counter(name) > 0, "{name} must fire in run=1");
+        assert_eq!(
+            run0.counter(name) + run1.counter(name),
+            delta.counter(name),
+            "{name}: per-scope values must sum to the global delta"
+        );
+    }
+    // Histograms attribute too: each run's consumer occupancy is its own
+    // snapshot count, and the two sum to the global delta.
+    let h0 = run0.histogram("pipeline.consumer_ns").expect("scoped consumer occupancy");
+    let h1 = run1.histogram("pipeline.consumer_ns").expect("scoped consumer occupancy");
+    assert_eq!(h0.count, corpora[0].snapshots.len() as u64);
+    assert_eq!(h1.count, corpora[1].snapshots.len() as u64);
+    assert_eq!(
+        h0.count + h1.count,
+        delta.histogram("pipeline.consumer_ns").expect("global delta").count
+    );
+
+    // ---- Phase 3: sharded fleet attributes per-shard occupancy. ----
+    let baseline = after;
+    let fleet_corpus = Corpus::generate(CorpusSpec::tiny(6543));
+    let machines = fleet_corpus.spec().machines;
+    const SHARDS: usize = 3;
+    {
+        let _scope = mhd_obs::scope!("fleet=test");
+        let mut fleet = ShardedMhd::new_in_memory(SHARDS, EngineConfig::new(512, 8)).unwrap();
+        for day in fleet_corpus.snapshots.chunks(machines) {
+            fleet.process_batch(day).unwrap();
+        }
+        fleet.finish().unwrap();
+    }
+    let after = mhd_obs::snapshot();
+    let fleet_scope = after.scope("fleet=test").expect("fleet sub-snapshot");
+    let mut shard_chunks = 0u64;
+    for i in 0..SHARDS {
+        let shard = after.scope(&format!("shard={i}")).expect("per-shard sub-snapshot");
+        let occupancy = shard.histogram("shard.batch_ns").expect("per-shard occupancy timer");
+        assert!(occupancy.count > 0, "shard={i} ran at least one batch");
+        let streams = shard.histogram("shard.batch_streams").expect("queue-imbalance histogram");
+        assert_eq!(streams.count, occupancy.count);
+        shard_chunks += shard.counter("chunking.chunks");
+    }
+    // Shard threads carry the parent label too, so the per-shard work
+    // sums to the parent scope's (machine-affinity routing sends every
+    // stream to exactly one shard).
+    assert_eq!(shard_chunks, fleet_scope.counter("chunking.chunks"));
+    assert_eq!(
+        fleet_scope.counter("chunking.chunks"),
+        after.diff(&baseline).counter("chunking.chunks")
+    );
+
+    // ---- Phase 4: a multi-engine exhibit yields per-engine scopes. ----
+    let baseline = after;
+    let bench_corpus = Corpus::generate(CorpusSpec::tiny(7654));
+    let engines = [EngineKind::Mhd, EngineKind::Cdc];
+    for kind in engines {
+        run_engine(kind, &bench_corpus, scaled_config(512, 8, bench_corpus.total_bytes()));
+    }
+    let after = mhd_obs::snapshot();
+    let delta = after.diff(&baseline);
+    let mut engine_chunks = 0u64;
+    for kind in engines {
+        let scope = after
+            .scope(&format!("engine={}", kind.label()))
+            .unwrap_or_else(|| panic!("engine={} sub-snapshot", kind.label()));
+        let chunks = scope.counter("chunking.chunks");
+        assert!(chunks > 0, "engine={} must chunk", kind.label());
+        engine_chunks += chunks;
+    }
+    assert_eq!(
+        engine_chunks,
+        delta.counter("chunking.chunks"),
+        "per-engine chunk counts must sum to the global delta"
+    );
+
+    // ---- Phase 5: the trace round-trips and exports valid Chrome JSON. ----
+    mhd_obs::trace_stop();
+    let records = mhd_obs::trace_drain();
+    assert!(!records.is_empty(), "the phases above must have produced trace events");
+    assert!(records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns), "drain sorts by time");
+    let kinds: Vec<&str> = records.iter().map(|r| r.event.kind()).collect();
+    for expected in ["ChunkEmitted", "HookHit", "StageBegin", "StageEnd"] {
+        assert!(kinds.contains(&expected), "trace must contain {expected}");
+    }
+
+    // JSONL round trip is lossless.
+    let jsonl = mhd_obs::trace_to_jsonl(&records);
+    let back = mhd_obs::trace_from_jsonl(&jsonl).unwrap();
+    assert_eq!(back, records);
+
+    // Chrome export: one well-formed trace_event object per record.
+    let chrome = mhd_obs::trace_to_chrome(&records);
+    let doc: serde_json::Value = serde_json::from_str(&chrome).expect("chrome export parses");
+    let serde_json::Value::Object(top) = &doc else { panic!("chrome export must be an object") };
+    let (_, events) =
+        top.iter().find(|(k, _)| k == "traceEvents").expect("traceEvents envelope key");
+    let serde_json::Value::Array(events) = events else { panic!("traceEvents must be an array") };
+    assert_eq!(events.len(), records.len());
+    let mut begins = 0u64;
+    let mut ends = 0u64;
+    for event in events {
+        let serde_json::Value::Object(fields) = event else { panic!("event must be an object") };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        for required in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(get(required).is_some(), "chrome event missing {required}");
+        }
+        let serde_json::Value::String(ph) = get("ph").unwrap() else { panic!("ph not a string") };
+        match ph.as_str() {
+            "B" => begins += 1,
+            "E" => ends += 1,
+            "i" => assert!(get("args").is_some(), "instants must carry args"),
+            other => panic!("unexpected chrome phase {other:?}"),
+        }
+    }
+    assert!(begins > 0, "stage events must appear");
+    assert_eq!(begins, ends, "every stage must open and close");
 }
