@@ -6,10 +6,12 @@
 #
 # Stages:
 #   1. tier-1: release build + full test suite (ROADMAP.md)
-#   2. feature matrix — the obs-disabled workspace still builds
-#   3. rustfmt   — style, enforced via rustfmt.toml
-#   4. clippy    — all targets, warnings are errors
-#   5. rustdoc   — every public item documented, no broken links
+#   2. crash safety — the fault matrix + a --durability fsync smoke backup
+#   3. feature matrix — the obs-disabled workspace still builds, and the
+#      store/core crash-safety tests pass with obs compiled out
+#   4. rustfmt   — style, enforced via rustfmt.toml
+#   5. clippy    — all targets, warnings are errors
+#   6. rustdoc   — every public item documented, no broken links
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,8 +28,27 @@ if [[ "${1:-}" == "tier1" ]]; then
     exit 0
 fi
 
+step "crash safety: fault-injection matrix"
+cargo test -q -p mhd-integration --test fault_injection
+
+step "crash safety: mhd backup --durability fsync smoke run + fsck"
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+mkdir -p "$SMOKE/src"
+head -c 262144 /dev/urandom > "$SMOKE/src/disk.img"
+./target/release/mhd backup "$SMOKE/src" --store "$SMOKE/store" \
+    --durability fsync --io-threads 2 --label smoke
+./target/release/mhd fsck --store "$SMOKE/store"
+./target/release/mhd restore smoke-0/disk.img --store "$SMOKE/store" -o "$SMOKE/restored.img"
+cmp "$SMOKE/src/disk.img" "$SMOKE/restored.img"
+
 step "feature matrix: cargo build --workspace --no-default-features"
 cargo build --workspace --no-default-features
+
+# The integration crate pins obs on; store/core built in isolation compile
+# it out, so their torn-write/recovery tests cover the obs-off config.
+step "feature matrix: crash-safety tests with obs compiled out"
+cargo test -q -p mhd-store -p mhd-core
 
 step "cargo fmt --check"
 cargo fmt --check

@@ -28,7 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use mhd_core::metrics::{self, DiskModel, Metrics};
 use mhd_core::{
@@ -163,11 +163,19 @@ impl Cli {
     }
 
     /// Writes a serialisable result as JSON under the output directory.
+    /// I/O failures (full disk, bad permissions) report the path involved
+    /// and exit non-zero instead of panicking.
     pub fn write_json<T: Serialize>(&self, name: &str, value: &T) {
-        std::fs::create_dir_all(&self.out).expect("create results dir");
+        if let Err(e) = std::fs::create_dir_all(&self.out) {
+            eprintln!("error: create results dir {}: {e}", self.out.display());
+            std::process::exit(1);
+        }
         let path = self.out.join(name);
-        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
-            .expect("write results");
+        let json = serde_json::to_string_pretty(value).expect("results are serialisable");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: write results to {}: {e}", path.display());
+            std::process::exit(1);
+        }
         eprintln!("wrote {}", path.display());
     }
 
@@ -187,14 +195,21 @@ impl Cli {
     pub fn write_trace(&self) {
         let Some(path) = &self.trace else { return };
         let records = mhd_obs::trace_drain();
+        let fail = |what: &str, at: &Path, e: std::io::Error| -> ! {
+            eprintln!("error: {what} {}: {e}", at.display());
+            std::process::exit(1);
+        };
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).expect("create trace dir");
+                std::fs::create_dir_all(parent)
+                    .unwrap_or_else(|e| fail("create trace dir", parent, e));
             }
         }
-        std::fs::write(path, mhd_obs::trace_to_chrome(&records)).expect("write chrome trace");
+        std::fs::write(path, mhd_obs::trace_to_chrome(&records))
+            .unwrap_or_else(|e| fail("write chrome trace to", path, e));
         let jsonl = path.with_extension("jsonl");
-        std::fs::write(&jsonl, mhd_obs::trace_to_jsonl(&records)).expect("write jsonl trace");
+        std::fs::write(&jsonl, mhd_obs::trace_to_jsonl(&records))
+            .unwrap_or_else(|e| fail("write jsonl trace to", &jsonl, e));
         eprintln!(
             "wrote {} trace events to {} (+ {})",
             records.len(),

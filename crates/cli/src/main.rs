@@ -2,11 +2,13 @@
 //! Deduplication into a durable on-disk store.
 //!
 //! ```text
-//! mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N] [--trace]
+//! mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]
+//!                    [--io-threads N] [--durability none|rename|fsync] [--trace]
 //! mhd restore <name> --store <store> -o <path>
 //! mhd ls             --store <store>
 //! mhd stats          --store <store> [--internals [--pretty]]
 //! mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]
+//! mhd fsck           --store <store> [--deep]
 //! ```
 //!
 //! Each `backup` run is one backup stream (like one of the paper's daily
@@ -24,7 +26,7 @@ use session::Session;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N] [--trace]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals [--pretty]]\n  mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]\n  mhd verify         --store <store> [--deep]\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]"
+        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n                     [--io-threads N] [--durability none|rename|fsync] [--trace]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals [--pretty]]\n  mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]\n  mhd verify         --store <store> [--deep]\n  mhd fsck           --store <store> [--deep]   (crash recovery + verify)\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]"
     );
     std::process::exit(2)
 }
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
+        "fsck" => cmd_fsck(&args[1..]),
         "rm" => cmd_rm(&args[1..]),
         "gc" => cmd_gc(&args[1..]),
         "compact" => cmd_compact(&args[1..]),
@@ -67,6 +70,19 @@ fn store_path(args: &[String]) -> Result<PathBuf, Box<dyn std::error::Error>> {
     flag_value(args, "--store").map(PathBuf::from).ok_or_else(|| "--store is required".into())
 }
 
+/// Builds the batched-backend tuning from `--io-threads` / `--durability`.
+fn io_config(args: &[String]) -> Result<mhd_store::IoConfig, Box<dyn std::error::Error>> {
+    let mut io = mhd_store::IoConfig::default();
+    if let Some(threads) = flag_value(args, "--io-threads") {
+        io.threads = threads.parse()?;
+    }
+    if let Some(level) = flag_value(args, "--durability") {
+        io.durability = mhd_store::Durability::parse(&level)
+            .ok_or_else(|| format!("unknown durability level {level:?} (none|rename|fsync)"))?;
+    }
+    Ok(io)
+}
+
 fn cmd_backup(args: &[String]) -> CliResult {
     let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err("backup needs a source directory".into());
@@ -83,7 +99,7 @@ fn cmd_backup(args: &[String]) -> CliResult {
         mhd_obs::trace_start(mhd_obs::DEFAULT_TRACE_CAPACITY);
     }
 
-    let mut session = Session::open(&store, ecs, sd)?;
+    let mut session = Session::open_with(&store, ecs, sd, io_config(args)?)?;
     let stream = session.next_stream_index();
     let snapshot = session::snapshot_from_dir(Path::new(dir), &format!("{label}-{stream}"))?;
     let files = snapshot.files.len();
@@ -151,6 +167,44 @@ fn cmd_verify(args: &[String]) -> CliResult {
     }
     if report.is_healthy() {
         println!("store is healthy");
+        Ok(())
+    } else {
+        for p in &report.problems {
+            eprintln!("PROBLEM: {p}");
+        }
+        Err(format!("{} integrity problems found", report.problems.len()).into())
+    }
+}
+
+/// `mhd fsck`: crash recovery plus the integrity walk. Opening the session
+/// runs the backend's recovery pass (rolling back torn tmp files and
+/// resolving write-ahead intents from an interrupted run); this command
+/// reports what that pass found, then verifies every structural invariant.
+fn cmd_fsck(args: &[String]) -> CliResult {
+    let store = store_path(args)?;
+    let deep = args.iter().any(|a| a == "--deep");
+    let mut session = Session::open_readonly(&store)?;
+    let recovery = session.recovery_report().clone();
+    if recovery.is_clean() {
+        println!("recovery: store was clean (no interrupted writes)");
+    } else {
+        println!(
+            "recovery: removed {} torn tmp file(s), resolved {} write intent(s)",
+            recovery.tmp_files_removed, recovery.intents_resolved
+        );
+    }
+    let mut report = session.fsck();
+    println!(
+        "checked {} manifests ({} entries), {} hooks, {} file recipes",
+        report.manifests, report.entries, report.hooks, report.file_manifests
+    );
+    if deep {
+        let scrub = session.scrub();
+        println!("scrubbed container content hashes");
+        report.problems.extend(scrub.problems);
+    }
+    if report.is_healthy() {
+        println!("store is consistent");
         Ok(())
     } else {
         for p in &report.problems {

@@ -1,7 +1,7 @@
 //! A durable, resumable MHD session over a directory store.
 //!
 //! The store layout is the paper's four hash-addressable namespaces (via
-//! [`DirBackend`]) plus a `session/` directory holding the serialised
+//! [`BatchedDirBackend`]) plus a `session/` directory holding the serialised
 //! engine state: `state.json` (counters, ledger, manifest sizes, Bloom
 //! filter bits base64-free as a sibling binary).
 
@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
 use mhd_core::{DedupReport, Deduplicator, EngineConfig, MhdEngine, MhdState};
-use mhd_store::DirBackend;
+use mhd_store::{Backend, BatchedDirBackend, IoConfig, RecoveryReport};
 use mhd_workload::{FileEntry, Snapshot};
 use serde::{Deserialize, Serialize};
 
@@ -23,9 +23,24 @@ struct SessionMeta {
 
 /// An open store: engine + persisted configuration.
 pub struct Session {
-    engine: MhdEngine<DirBackend>,
+    engine: MhdEngine<BatchedDirBackend>,
     meta: SessionMeta,
     root: PathBuf,
+    recovery: RecoveryReport,
+}
+
+/// Writes `data` to `path` through a hidden tmp sibling + atomic rename,
+/// so session state files can never be observed half-written; errors name
+/// the path involved.
+fn write_atomic(path: &Path, data: &[u8]) -> Result<(), Box<dyn std::error::Error>> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("{}: not a file path", path.display()))?;
+    let tmp = path.with_file_name(format!(".{file_name}.tmp"));
+    std::fs::write(&tmp, data).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))?;
+    Ok(())
 }
 
 impl Session {
@@ -33,13 +48,31 @@ impl Session {
         (root.join("session/state.json"), root.join("session/meta.json"))
     }
 
+    /// Opens (or initialises) the store at `root` for backup, with default
+    /// I/O tuning.
+    pub fn open(root: &Path, ecs: usize, sd: usize) -> Result<Self, Box<dyn std::error::Error>> {
+        Self::open_with(root, ecs, sd, IoConfig::default())
+    }
+
     /// Opens (or initialises) the store at `root` for backup.
     ///
     /// `ecs`/`sd` apply only when the store is new; an existing store keeps
     /// its original parameters (changing the chunking of a live store would
-    /// silently break deduplication against old data).
-    pub fn open(root: &Path, ecs: usize, sd: usize) -> Result<Self, Box<dyn std::error::Error>> {
-        std::fs::create_dir_all(root.join("session"))?;
+    /// silently break deduplication against old data). `io` tunes the
+    /// batched backend (worker threads, batch sizes, durability) and
+    /// applies per invocation.
+    ///
+    /// Opening always runs the backend's crash-recovery pass first: any
+    /// write that was in flight when a previous process died is rolled
+    /// back before the engine reads a byte.
+    pub fn open_with(
+        root: &Path,
+        ecs: usize,
+        sd: usize,
+        io: IoConfig,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        std::fs::create_dir_all(root.join("session"))
+            .map_err(|e| format!("create {}: {e}", root.join("session").display()))?;
         let (state_path, meta_path) = Self::paths(root);
 
         let meta: SessionMeta = if meta_path.exists() {
@@ -55,14 +88,26 @@ impl Session {
             SessionMeta { ecs, sd, streams: 0 }
         };
 
-        let backend = DirBackend::create(root)?;
+        let mut backend = BatchedDirBackend::create_with(root, io)?;
+        let recovery = backend.recover()?;
+        if !recovery.is_clean() {
+            eprintln!(
+                "note: recovered store: removed {} torn tmp file(s), resolved {} write intent(s)",
+                recovery.tmp_files_removed, recovery.intents_resolved
+            );
+        }
         let config = EngineConfig::new(meta.ecs, meta.sd);
         let mut engine = MhdEngine::new(backend, config)?;
         if state_path.exists() {
             let state: MhdState = serde_json::from_slice(&std::fs::read(&state_path)?)?;
             engine.import_state(state)?;
         }
-        Ok(Session { engine, meta, root: root.to_path_buf() })
+        Ok(Session { engine, meta, root: root.to_path_buf(), recovery })
+    }
+
+    /// What the crash-recovery pass found when this session opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Opens an existing store for read-only operations (no state needed
@@ -100,23 +145,23 @@ impl Session {
         // report is merely informational here.
         let _ = self.engine.finish()?;
         let (state_path, meta_path) = Self::paths(&self.root);
-        std::fs::write(&state_path, serde_json::to_vec(&self.engine.export_state())?)?;
-        std::fs::write(&meta_path, serde_json::to_vec(&self.meta)?)?;
+        write_atomic(&state_path, &serde_json::to_vec(&self.engine.export_state())?)?;
+        write_atomic(&meta_path, &serde_json::to_vec(&self.meta)?)?;
         // Persist this process's internal metrics so `mhd stats
         // --internals` can show what the last mutating run did.
         let snap = mhd_obs::snapshot();
         if !snap.is_empty() {
-            std::fs::write(
-                self.root.join("session/internals.json"),
-                serde_json::to_string_pretty(&snap)?,
+            write_atomic(
+                &self.root.join("session/internals.json"),
+                serde_json::to_string_pretty(&snap)?.as_bytes(),
             )?;
         }
         // Likewise the trace (when `--trace` armed it), for `mhd trace`.
         let records = mhd_obs::trace_drain();
         if !records.is_empty() {
-            std::fs::write(
-                self.root.join("session/trace.jsonl"),
-                mhd_obs::trace_to_jsonl(&records),
+            write_atomic(
+                &self.root.join("session/trace.jsonl"),
+                mhd_obs::trace_to_jsonl(&records).as_bytes(),
             )?;
         }
         Ok(())

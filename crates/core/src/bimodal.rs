@@ -214,6 +214,7 @@ impl<B: Backend> Deduplicator for BimodalEngine<B> {
                 self.substrate.update_manifest(&manifest)?;
             }
         }
+        self.substrate.flush()?;
         Ok(DedupReport {
             algorithm: self.name().to_string(),
             input_bytes: self.input_bytes,

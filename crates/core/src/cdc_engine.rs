@@ -165,6 +165,7 @@ impl<B: Backend> Deduplicator for CdcEngine<B> {
                 self.substrate.update_manifest(&manifest)?;
             }
         }
+        self.substrate.flush()?;
         Ok(DedupReport {
             algorithm: self.name().to_string(),
             input_bytes: self.input_bytes,

@@ -207,6 +207,9 @@ pub fn compact<B: Backend>(
         report.containers_compacted += 1;
         report.bytes_reclaimed += total - live_bytes;
     }
+    // Compaction is a commit point: rewritten containers, manifests and
+    // recipes must be on disk before the pass reports success.
+    substrate.flush()?;
     Ok(report)
 }
 

@@ -231,6 +231,7 @@ impl<B: Backend> Deduplicator for FbcEngine<B> {
                 self.substrate.update_manifest(&manifest)?;
             }
         }
+        self.substrate.flush()?;
         Ok(DedupReport {
             algorithm: self.name().to_string(),
             input_bytes: self.input_bytes,

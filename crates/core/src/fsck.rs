@@ -20,7 +20,8 @@
 
 use mhd_hash::{sha1, ChunkHash};
 use mhd_store::{
-    Backend, DiskChunkId, FileKind, FileManifest, Manifest, ManifestFormat, ManifestId, Substrate,
+    Backend, DiskChunkId, FileKind, FileManifest, Manifest, ManifestFormat, ManifestId,
+    RecoveryReport, StoreResult, Substrate,
 };
 
 /// Outcome of an integrity walk.
@@ -43,6 +44,17 @@ impl IntegrityReport {
     pub fn is_healthy(&self) -> bool {
         self.problems.is_empty()
     }
+}
+
+/// Crash-recovery pass: asks the backend to detect and roll back
+/// mutations that were in flight when the store was last open — torn
+/// `.*.tmp` files (the write never committed; the target still holds its
+/// previous content) and unresolved overwrite intents (the rename either
+/// committed or the tmp was rolled back, so clearing the intent completes
+/// the operation either way). Run this *before* [`check_store`] on a store
+/// that may have been interrupted; on a clean store it is a no-op.
+pub fn recover_store<B: Backend>(substrate: &mut Substrate<B>) -> StoreResult<RecoveryReport> {
+    substrate.recover()
 }
 
 /// Walks the whole store. Reads go straight to the backend (no Table II

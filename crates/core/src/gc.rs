@@ -142,6 +142,9 @@ pub fn collect<B: Backend>(substrate: &mut Substrate<B>) -> StoreResult<GcReport
         }
     }
 
+    // GC is a commit point: the pruned-manifest rewrites must be on disk
+    // before the pass reports success.
+    substrate.flush()?;
     Ok(report)
 }
 

@@ -810,6 +810,7 @@ impl<B: Backend> Deduplicator for MhdEngine<B> {
                 self.substrate.update_manifest(&manifest)?;
             }
         }
+        self.substrate.flush()?;
         self.dedup_seconds += start.elapsed().as_secs_f64();
         Ok(DedupReport {
             algorithm: self.name().to_string(),

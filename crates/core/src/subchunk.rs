@@ -236,6 +236,7 @@ impl<B: Backend> Deduplicator for SubChunkEngine<B> {
                 self.substrate.update_manifest(&manifest)?;
             }
         }
+        self.substrate.flush()?;
         let big_index_ram: u64 = self
             .big_index
             .values()

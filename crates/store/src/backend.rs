@@ -6,11 +6,32 @@
 //! device latencies), while [`DirBackend`] lays the same objects out as
 //! real files in a directory tree, mirroring the paper's "user space of the
 //! Ext3 file system" prototypes. [`FaultBackend`] wraps another backend and
-//! fails the n-th operation, for failure-injection tests.
+//! fails a chosen operation, for failure-injection tests.
+//!
+//! # Durability
+//!
+//! MHD's defining invariant is that only Manifest files are ever rewritten
+//! (HHR) while DiskChunks and Hooks stay immutable, so the manifest rewrite
+//! is the one place a crash or short write can corrupt a store.
+//! [`DirBackend`] therefore never writes an object in place: every `put`
+//! and `update` lands in a hidden `.*.tmp` sibling and is atomically
+//! renamed over the target. The [`Durability`] level controls what happens
+//! around that rename:
+//!
+//! * [`Durability::None`] — tmp + rename only (atomic against torn writes,
+//!   no fsync, no intent records; fastest, for tests and benches).
+//! * [`Durability::Rename`] — additionally records a write-ahead *intent*
+//!   file under `root/intent/` before every overwrite, removed once the
+//!   rename commits. [`DirBackend::recover`] uses leftover intents and tmp
+//!   files to detect and roll back a rewrite that was in flight at crash
+//!   time.
+//! * [`Durability::Fsync`] — additionally fsyncs the tmp file before the
+//!   rename and the parent directory after it, so a committed object
+//!   survives power loss, not just process death.
 
 use std::collections::BTreeMap;
-use std::io::{Read, Seek, SeekFrom};
-use std::path::PathBuf;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
 
@@ -43,6 +64,70 @@ impl FileKind {
     /// All categories, for iteration in reports.
     pub const ALL: [FileKind; 4] =
         [FileKind::DiskChunk, FileKind::Manifest, FileKind::Hook, FileKind::FileManifest];
+
+    /// The order in which pending writes must reach disk so that a crash
+    /// between any two operations leaves no dangling reference: Manifests
+    /// reference DiskChunks, Hooks reference Manifests, FileManifests
+    /// reference DiskChunks. Flushing in this order means every object on
+    /// disk only ever points at objects that are also on disk.
+    pub const FLUSH_ORDER: [FileKind; 4] =
+        [FileKind::DiskChunk, FileKind::Manifest, FileKind::Hook, FileKind::FileManifest];
+}
+
+/// How hard [`DirBackend`] tries to make each mutation durable. See the
+/// module docs for what each level guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// tmp + atomic rename, nothing else.
+    None,
+    /// tmp + rename with write-ahead intent records for overwrites.
+    #[default]
+    Rename,
+    /// Like `Rename`, plus fsync of the object before the rename and of
+    /// the parent directory after it (and after deletes).
+    Fsync,
+}
+
+impl Durability {
+    /// Parses a CLI-style level name (`none`, `rename`, `fsync`).
+    pub fn parse(s: &str) -> Option<Durability> {
+        match s {
+            "none" => Some(Durability::None),
+            "rename" => Some(Durability::Rename),
+            "fsync" => Some(Durability::Fsync),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style level name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Durability::None => "none",
+            Durability::Rename => "rename",
+            Durability::Fsync => "fsync",
+        }
+    }
+}
+
+/// Outcome of a [`Backend::recover`] pass.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Torn or orphaned `.*.tmp` files removed (writes that never
+    /// committed; the target object still holds its previous content).
+    pub tmp_files_removed: usize,
+    /// Write-ahead intent records cleared. Each one marks an overwrite
+    /// that was in flight when the store was last open; thanks to the
+    /// atomic rename the target holds either the old or the new bytes, so
+    /// clearing the intent completes the rollback (tmp removed) or the
+    /// commit (rename already done).
+    pub intents_resolved: usize,
+}
+
+impl RecoveryReport {
+    /// True when the store was already clean (nothing was in flight).
+    pub fn is_clean(&self) -> bool {
+        self.tmp_files_removed == 0 && self.intents_resolved == 0
+    }
 }
 
 /// A flat object store. `put` creates (a new inode), `update` rewrites an
@@ -87,6 +172,19 @@ pub trait Backend {
     /// Deletes an object (garbage collection). Fails with
     /// [`StoreError::NotFound`] if absent.
     fn delete(&mut self, kind: FileKind, name: &str) -> StoreResult<()>;
+
+    /// Makes every buffered mutation visible and durable (to the backend's
+    /// configured [`Durability`]). A no-op for write-through backends.
+    fn flush(&mut self) -> StoreResult<()> {
+        Ok(())
+    }
+
+    /// Detects and rolls back mutations that were in flight when the store
+    /// was last open (torn tmp files, unresolved overwrite intents). A
+    /// no-op for backends without crash state.
+    fn recover(&mut self) -> StoreResult<RecoveryReport> {
+        Ok(RecoveryReport::default())
+    }
 }
 
 /// In-memory backend: a `BTreeMap` per [`FileKind`].
@@ -187,59 +285,166 @@ impl Backend for MemBackend {
     }
 }
 
-/// Directory-tree backend: `root/{chunks,manifests,hooks,file_manifests}/`.
+/// Replaces path separators so object names map to single file names.
+pub(crate) fn safe_name(name: &str) -> String {
+    name.chars().map(|c| if c == '/' || c == '\\' { '_' } else { c }).collect()
+}
+
+/// The directory holding write-ahead intent records.
+pub(crate) fn intent_dir(root: &Path) -> PathBuf {
+    root.join("intent")
+}
+
+pub(crate) fn io_at(op: &'static str, path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::IoAt { op, path: path.display().to_string(), source }
+}
+
+pub(crate) fn fsync_dir(dir: &Path) -> StoreResult<()> {
+    let f = std::fs::File::open(dir).map_err(|e| io_at("open dir", dir, e))?;
+    f.sync_all().map_err(|e| io_at("fsync dir", dir, e))
+}
+
+/// Directory-tree backend: `root/{chunks,manifests,hooks,file_manifests}/`
+/// plus `root/intent/` for write-ahead overwrite records.
 ///
 /// Object names become file names (names used by the substrate are always
 /// hex strings or sanitised paths, so no escaping is needed beyond `/`
-/// replacement).
+/// replacement). Temporary files are hidden (`.*.tmp`) and never reported
+/// by [`Backend::list`]/[`Backend::count`].
 pub struct DirBackend {
     root: PathBuf,
+    durability: Durability,
+    /// Physical file writes performed (fault-injection bookkeeping).
+    writes: u64,
+    /// Test-only: the n-th physical write is torn half-way and fails.
+    short_write_at: Option<u64>,
 }
 
 impl DirBackend {
-    /// Creates the directory layout under `root`.
+    /// Creates the directory layout under `root` with the default
+    /// [`Durability::Rename`] level.
     pub fn create(root: impl Into<PathBuf>) -> StoreResult<Self> {
+        Self::create_with(root, Durability::default())
+    }
+
+    /// Creates the directory layout under `root` with an explicit
+    /// durability level.
+    pub fn create_with(root: impl Into<PathBuf>, durability: Durability) -> StoreResult<Self> {
         let root = root.into();
         for kind in FileKind::ALL {
-            std::fs::create_dir_all(root.join(kind.dir_name()))?;
+            let dir = root.join(kind.dir_name());
+            std::fs::create_dir_all(&dir).map_err(|e| io_at("create dir", &dir, e))?;
         }
-        Ok(DirBackend { root })
+        let intents = intent_dir(&root);
+        std::fs::create_dir_all(&intents).map_err(|e| io_at("create dir", &intents, e))?;
+        Ok(DirBackend { root, durability, writes: 0, short_write_at: None })
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The configured durability level.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Fault injection for crash tests: the `nth` physical file write
+    /// (0-based, counted across puts and updates) writes only half its
+    /// bytes and then fails, simulating a crash mid-write. One-shot.
+    pub fn fault_short_write_at(&mut self, nth: u64) {
+        self.short_write_at = Some(self.writes + nth);
+    }
+
+    /// Physical file writes performed so far.
+    pub fn physical_writes(&self) -> u64 {
+        self.writes
     }
 
     fn path(&self, kind: FileKind, name: &str) -> PathBuf {
-        // FileManifest names can contain path separators; flatten them.
-        let safe: String =
-            name.chars().map(|c| if c == '/' || c == '\\' { '_' } else { c }).collect();
-        self.root.join(kind.dir_name()).join(safe)
+        self.root.join(kind.dir_name()).join(safe_name(name))
+    }
+
+    fn tmp_path(&self, kind: FileKind, name: &str) -> PathBuf {
+        self.root.join(kind.dir_name()).join(format!(".{}.tmp", safe_name(name)))
+    }
+
+    fn intent_path(&self, kind: FileKind, name: &str) -> PathBuf {
+        intent_dir(&self.root).join(format!("{}__{}", kind.dir_name(), safe_name(name)))
+    }
+
+    /// Writes `data` to `path`, honouring the short-write fault hook.
+    fn write_file(&mut self, path: &Path, data: &[u8]) -> StoreResult<()> {
+        let n = self.writes;
+        self.writes += 1;
+        let mut f = std::fs::File::create(path).map_err(|e| io_at("create", path, e))?;
+        if self.short_write_at == Some(n) {
+            self.short_write_at = None;
+            let _ = f.write_all(&data[..data.len() / 2]);
+            let _ = f.sync_all();
+            return Err(StoreError::Io(std::io::Error::other(format!(
+                "injected short write at {}",
+                path.display()
+            ))));
+        }
+        f.write_all(data).map_err(|e| io_at("write", path, e))?;
+        if self.durability == Durability::Fsync {
+            f.sync_all().map_err(|e| io_at("fsync", path, e))?;
+        }
+        Ok(())
+    }
+
+    /// The atomic commit path shared by `put` and `update`: write the
+    /// hidden tmp sibling, then rename it over the target.
+    fn commit(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        let tmp = self.tmp_path(kind, name);
+        let target = self.path(kind, name);
+        self.write_file(&tmp, data)?;
+        std::fs::rename(&tmp, &target).map_err(|e| io_at("rename", &target, e))?;
+        if self.durability == Durability::Fsync {
+            fsync_dir(&self.root.join(kind.dir_name()))?;
+        }
+        Ok(())
     }
 }
 
 impl Backend for DirBackend {
     fn put(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
-        let path = self.path(kind, name);
-        if path.exists() {
+        if self.path(kind, name).exists() {
             return Err(StoreError::AlreadyExists { kind, name: name.to_string() });
         }
-        std::fs::write(path, data)?;
-        Ok(())
+        self.commit(kind, name, data)
     }
 
     fn update(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
-        let path = self.path(kind, name);
-        if !path.exists() {
+        if !self.path(kind, name).exists() {
             return Err(StoreError::NotFound { kind, name: name.to_string() });
         }
-        std::fs::write(path, data)?;
-        Ok(())
+        // Write-ahead intent: recovery knows an overwrite was in flight
+        // and can clear the torn tmp file it may have left behind.
+        let intent = (self.durability != Durability::None).then(|| self.intent_path(kind, name));
+        if let Some(intent) = &intent {
+            std::fs::write(intent, name.as_bytes())
+                .map_err(|e| io_at("write intent", intent, e))?;
+        }
+        let result = self.commit(kind, name, data);
+        if let Some(intent) = &intent {
+            if result.is_ok() {
+                std::fs::remove_file(intent).map_err(|e| io_at("clear intent", intent, e))?;
+            }
+        }
+        result
     }
 
     fn get(&mut self, kind: FileKind, name: &str) -> StoreResult<Bytes> {
-        match std::fs::read(self.path(kind, name)) {
+        let path = self.path(kind, name);
+        match std::fs::read(&path) {
             Ok(data) => Ok(Bytes::from(data)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(StoreError::NotFound { kind, name: name.to_string() })
             }
-            Err(e) => Err(e.into()),
+            Err(e) => Err(io_at("read", &path, e)),
         }
     }
 
@@ -256,25 +461,26 @@ impl Backend for DirBackend {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(StoreError::NotFound { kind, name: name.to_string() })
             }
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(io_at("open", &path, e)),
         };
-        let size = file.metadata()?.len();
+        let size = file.metadata().map_err(|e| io_at("stat", &path, e))?.len();
         if offset.checked_add(len).is_none_or(|e| e > size) {
             return Err(StoreError::OutOfRange { name: name.to_string(), offset, len, size });
         }
-        file.seek(SeekFrom::Start(offset))?;
+        file.seek(SeekFrom::Start(offset)).map_err(|e| io_at("seek", &path, e))?;
         let mut buf = vec![0u8; len as usize];
-        file.read_exact(&mut buf)?;
+        file.read_exact(&mut buf).map_err(|e| io_at("read", &path, e))?;
         Ok(Bytes::from(buf))
     }
 
     fn size_of(&mut self, kind: FileKind, name: &str) -> StoreResult<u64> {
-        match std::fs::metadata(self.path(kind, name)) {
+        let path = self.path(kind, name);
+        match std::fs::metadata(&path) {
             Ok(m) => Ok(m.len()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(StoreError::NotFound { kind, name: name.to_string() })
             }
-            Err(e) => Err(e.into()),
+            Err(e) => Err(io_at("stat", &path, e)),
         }
     }
 
@@ -283,13 +489,24 @@ impl Backend for DirBackend {
     }
 
     fn count(&mut self, kind: FileKind) -> u64 {
-        std::fs::read_dir(self.root.join(kind.dir_name())).map(|d| d.count() as u64).unwrap_or(0)
+        std::fs::read_dir(self.root.join(kind.dir_name()))
+            .map(|d| {
+                d.filter(|e| {
+                    e.as_ref()
+                        .ok()
+                        .is_some_and(|e| !e.file_name().to_string_lossy().starts_with('.'))
+                })
+                .count() as u64
+            })
+            .unwrap_or(0)
     }
 
     fn list(&mut self, kind: FileKind) -> Vec<String> {
         let mut names: Vec<String> = std::fs::read_dir(self.root.join(kind.dir_name()))
             .map(|d| {
-                d.filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok())).collect()
+                d.filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok()))
+                    .filter(|n| !n.starts_with('.'))
+                    .collect()
             })
             .unwrap_or_default();
         names.sort();
@@ -297,34 +514,146 @@ impl Backend for DirBackend {
     }
 
     fn delete(&mut self, kind: FileKind, name: &str) -> StoreResult<()> {
-        match std::fs::remove_file(self.path(kind, name)) {
-            Ok(()) => Ok(()),
+        let path = self.path(kind, name);
+        match std::fs::remove_file(&path) {
+            Ok(()) => {
+                if self.durability == Durability::Fsync {
+                    fsync_dir(&self.root.join(kind.dir_name()))?;
+                }
+                Ok(())
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(StoreError::NotFound { kind, name: name.to_string() })
             }
-            Err(e) => Err(e.into()),
+            Err(e) => Err(io_at("remove", &path, e)),
         }
+    }
+
+    fn recover(&mut self) -> StoreResult<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        // Torn or orphaned tmp files: the rename never happened, so the
+        // target still holds the pre-write content — removing the tmp is
+        // the rollback.
+        for kind in FileKind::ALL {
+            let dir = self.root.join(kind.dir_name());
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_at("read dir", &dir, e)),
+            };
+            for entry in entries.filter_map(|e| e.ok()) {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with('.') && name.ends_with(".tmp") {
+                    let path = entry.path();
+                    std::fs::remove_file(&path).map_err(|e| io_at("remove tmp", &path, e))?;
+                    report.tmp_files_removed += 1;
+                }
+            }
+        }
+        // Intent records: the overwrite either committed (rename done; the
+        // target holds the new bytes) or rolled back above — either way
+        // the store is consistent and the intent is resolved.
+        let intents = intent_dir(&self.root);
+        if intents.exists() {
+            let entries =
+                std::fs::read_dir(&intents).map_err(|e| io_at("read dir", &intents, e))?;
+            for entry in entries.filter_map(|e| e.ok()) {
+                let path = entry.path();
+                std::fs::remove_file(&path).map_err(|e| io_at("clear intent", &path, e))?;
+                report.intents_resolved += 1;
+            }
+        }
+        if !report.is_clean() {
+            mhd_obs::counter!("store.recoveries").inc();
+        }
+        Ok(report)
     }
 }
 
-/// Failure-injection wrapper: the `fail_after`-th mutating-or-reading
-/// operation (0-based) returns an injected I/O error; everything before it
-/// passes through.
+/// Which backend operations a [`FaultPoint`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultOp {
+    /// Every counted operation (reads, writes and deletes) — the legacy
+    /// behaviour of [`FaultBackend::new`].
+    #[default]
+    Any,
+    /// `get` / `get_range` only.
+    Read,
+    /// `put` / `update` only.
+    Write,
+    /// `delete` only.
+    Delete,
+}
+
+/// Selects which operation of a [`FaultBackend`] fails: the `fail_at`-th
+/// (0-based) operation matching `op` and (optionally) `kind`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPoint {
+    /// Operation class filter.
+    pub op: FaultOp,
+    /// Restrict to one object category (`None` = all).
+    pub kind: Option<FileKind>,
+    /// Index among matching operations that fails.
+    pub fail_at: u64,
+}
+
+impl FaultPoint {
+    /// A fault at the `fail_at`-th operation of any class (legacy
+    /// semantics).
+    pub fn any(fail_at: u64) -> Self {
+        FaultPoint { op: FaultOp::Any, kind: None, fail_at }
+    }
+
+    /// A fault at the `fail_at`-th write (`put`/`update`), optionally
+    /// restricted to one [`FileKind`] — e.g. the n-th Manifest rewrite.
+    pub fn write(kind: Option<FileKind>, fail_at: u64) -> Self {
+        FaultPoint { op: FaultOp::Write, kind, fail_at }
+    }
+
+    /// A fault at the `fail_at`-th read, optionally restricted to one
+    /// [`FileKind`].
+    pub fn read(kind: Option<FileKind>, fail_at: u64) -> Self {
+        FaultPoint { op: FaultOp::Read, kind, fail_at }
+    }
+
+    fn matches(&self, op: FaultOp, kind: FileKind) -> bool {
+        (self.op == FaultOp::Any || self.op == op)
+            && (self.kind.is_none() || self.kind == Some(kind))
+    }
+}
+
+/// Failure-injection wrapper: the operation selected by a [`FaultPoint`]
+/// returns an injected I/O error; everything else passes through. Faults
+/// fire *before* the inner operation runs, modelling a crash at an
+/// operation boundary (the inner backend is never half-mutated).
 pub struct FaultBackend<B> {
     inner: B,
     ops: u64,
-    fail_at: u64,
+    matching: u64,
+    point: FaultPoint,
 }
 
 impl<B: Backend> FaultBackend<B> {
-    /// Wraps `inner`; the operation with index `fail_at` fails.
+    /// Wraps `inner`; the operation with index `fail_at` (counted over
+    /// reads, writes and deletes alike) fails.
     pub fn new(inner: B, fail_at: u64) -> Self {
-        FaultBackend { inner, ops: 0, fail_at }
+        Self::with_point(inner, FaultPoint::any(fail_at))
     }
 
-    /// Operations performed so far.
+    /// Wraps `inner` with an explicit fault point.
+    pub fn with_point(inner: B, point: FaultPoint) -> Self {
+        FaultBackend { inner, ops: 0, matching: 0, point }
+    }
+
+    /// Operations performed so far (reads + writes + deletes).
     pub fn ops(&self) -> u64 {
         self.ops
+    }
+
+    /// Operations so far that matched the fault point's filters.
+    pub fn matching_ops(&self) -> u64 {
+        self.matching
     }
 
     /// Unwraps the inner backend.
@@ -332,10 +661,19 @@ impl<B: Backend> FaultBackend<B> {
         self.inner
     }
 
-    fn tick(&mut self) -> StoreResult<()> {
-        let n = self.ops;
+    /// Read access to the inner backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    fn tick(&mut self, op: FaultOp, kind: FileKind) -> StoreResult<()> {
         self.ops += 1;
-        if n == self.fail_at {
+        if !self.point.matches(op, kind) {
+            return Ok(());
+        }
+        let n = self.matching;
+        self.matching += 1;
+        if n == self.point.fail_at {
             Err(StoreError::Io(std::io::Error::other("injected fault")))
         } else {
             Ok(())
@@ -345,15 +683,15 @@ impl<B: Backend> FaultBackend<B> {
 
 impl<B: Backend> Backend for FaultBackend<B> {
     fn put(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
-        self.tick()?;
+        self.tick(FaultOp::Write, kind)?;
         self.inner.put(kind, name, data)
     }
     fn update(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
-        self.tick()?;
+        self.tick(FaultOp::Write, kind)?;
         self.inner.update(kind, name, data)
     }
     fn get(&mut self, kind: FileKind, name: &str) -> StoreResult<Bytes> {
-        self.tick()?;
+        self.tick(FaultOp::Read, kind)?;
         self.inner.get(kind, name)
     }
     fn get_range(
@@ -363,7 +701,7 @@ impl<B: Backend> Backend for FaultBackend<B> {
         offset: u64,
         len: u64,
     ) -> StoreResult<Bytes> {
-        self.tick()?;
+        self.tick(FaultOp::Read, kind)?;
         self.inner.get_range(kind, name, offset, len)
     }
     fn size_of(&mut self, kind: FileKind, name: &str) -> StoreResult<u64> {
@@ -379,16 +717,22 @@ impl<B: Backend> Backend for FaultBackend<B> {
         self.inner.list(kind)
     }
     fn delete(&mut self, kind: FileKind, name: &str) -> StoreResult<()> {
-        self.tick()?;
+        self.tick(FaultOp::Delete, kind)?;
         self.inner.delete(kind, name)
+    }
+    fn flush(&mut self) -> StoreResult<()> {
+        self.inner.flush()
+    }
+    fn recover(&mut self) -> StoreResult<RecoveryReport> {
+        self.inner.recover()
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
-    fn exercise(backend: &mut dyn Backend) {
+    pub(crate) fn exercise(backend: &mut dyn Backend) {
         backend.put(FileKind::DiskChunk, "a", b"hello world").unwrap();
         assert!(matches!(
             backend.put(FileKind::DiskChunk, "a", b"x"),
@@ -427,6 +771,14 @@ mod tests {
             Err(StoreError::NotFound { .. })
         ));
         assert_eq!(backend.count(FileKind::DiskChunk), 1);
+        backend.flush().unwrap();
+        assert!(backend.recover().unwrap().is_clean());
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mhd-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -436,10 +788,11 @@ mod tests {
 
     #[test]
     fn dir_backend_contract() {
-        let dir = std::env::temp_dir().join(format!("mhd-store-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        exercise(&mut DirBackend::create(&dir).unwrap());
-        std::fs::remove_dir_all(&dir).unwrap();
+        for durability in [Durability::None, Durability::Rename, Durability::Fsync] {
+            let dir = temp_dir(&format!("contract-{}", durability.name()));
+            exercise(&mut DirBackend::create_with(&dir, durability).unwrap());
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]
@@ -460,5 +813,78 @@ mod tests {
         assert_eq!(b.ops(), 3);
         // The failed op must not have mutated state.
         assert!(!b.exists(FileKind::Hook, "b"));
+    }
+
+    #[test]
+    fn fault_point_targets_writes_of_one_kind() {
+        let point = FaultPoint::write(Some(FileKind::Manifest), 1);
+        let mut b = FaultBackend::with_point(MemBackend::new(), point);
+        // Reads and other kinds never trip the fault.
+        b.put(FileKind::Hook, "h", b"x").unwrap();
+        let _ = b.get(FileKind::Hook, "h").unwrap();
+        b.put(FileKind::Manifest, "0", b"m0").unwrap(); // manifest write 0: ok
+        let _ = b.get(FileKind::Manifest, "0").unwrap();
+        assert!(matches!(
+            b.update(FileKind::Manifest, "0", b"m0-v2"), // manifest write 1: fault
+            Err(StoreError::Io(_))
+        ));
+        assert_eq!(&b.get(FileKind::Manifest, "0").unwrap()[..], b"m0", "old content intact");
+        assert_eq!(b.matching_ops(), 2);
+    }
+
+    #[test]
+    fn fault_point_targets_reads() {
+        let mut b = FaultBackend::with_point(MemBackend::new(), FaultPoint::read(None, 0));
+        b.put(FileKind::DiskChunk, "c", b"data").unwrap();
+        assert!(matches!(b.get(FileKind::DiskChunk, "c"), Err(StoreError::Io(_))));
+        assert_eq!(&b.get(FileKind::DiskChunk, "c").unwrap()[..], b"data");
+    }
+
+    #[test]
+    fn torn_update_preserves_old_content_and_recovers() {
+        let dir = temp_dir("torn");
+        let mut b = DirBackend::create_with(&dir, Durability::Rename).unwrap();
+        b.put(FileKind::Manifest, "0", b"manifest v1, intact").unwrap();
+        // Kill the next physical write half-way: the rewrite must not
+        // reach the target file.
+        b.fault_short_write_at(0);
+        let err = b.update(FileKind::Manifest, "0", b"manifest v2, much longer payload");
+        assert!(matches!(err, Err(StoreError::Io(_))));
+        assert_eq!(
+            &b.get(FileKind::Manifest, "0").unwrap()[..],
+            b"manifest v1, intact",
+            "in-place content untouched by torn rewrite"
+        );
+        // The torn tmp and the unresolved intent are visible to recovery…
+        let report = b.recover().unwrap();
+        assert_eq!(report.tmp_files_removed, 1);
+        assert_eq!(report.intents_resolved, 1);
+        // …and a second pass is clean.
+        assert!(b.recover().unwrap().is_clean());
+        assert_eq!(b.list(FileKind::Manifest), vec!["0".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_put_leaves_no_object() {
+        let dir = temp_dir("torn-put");
+        let mut b = DirBackend::create_with(&dir, Durability::Fsync).unwrap();
+        b.fault_short_write_at(0);
+        assert!(b.put(FileKind::DiskChunk, "c0", &[7u8; 4096]).is_err());
+        assert!(!b.exists(FileKind::DiskChunk, "c0"));
+        assert_eq!(b.count(FileKind::DiskChunk), 0, "tmp files are not objects");
+        assert_eq!(b.recover().unwrap().tmp_files_removed, 1);
+        // The name is reusable after recovery.
+        b.put(FileKind::DiskChunk, "c0", &[7u8; 4096]).unwrap();
+        assert_eq!(b.size_of(FileKind::DiskChunk, "c0").unwrap(), 4096);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durability_parse_round_trips() {
+        for d in [Durability::None, Durability::Rename, Durability::Fsync] {
+            assert_eq!(Durability::parse(d.name()), Some(d));
+        }
+        assert_eq!(Durability::parse("paranoid"), None);
     }
 }

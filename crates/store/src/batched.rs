@@ -1,0 +1,671 @@
+//! Batched, crash-safe directory backend.
+//!
+//! [`BatchedDirBackend`] wraps the same on-disk layout as
+//! [`DirBackend`](crate::DirBackend) but decouples the dedup hot loop from
+//! storage latency: `put`/`update` land in an in-memory pending overlay and
+//! are committed in bounded batches by a small worker pool. Reads always
+//! see the overlay first (read-your-writes), so the engines observe exactly
+//! the semantics of a write-through backend — the substrate-level
+//! [`IoStats`](crate::IoStats) counters and therefore every dedup ratio are
+//! unchanged by construction.
+//!
+//! # Crash ordering
+//!
+//! A batch flush drains the overlay one [`FileKind`] at a time in
+//! [`FileKind::FLUSH_ORDER`] (DiskChunk → Manifest → Hook → FileManifest)
+//! with a barrier between kinds. Within the engines' per-file write order
+//! this means a crash at any flush boundary leaves no dangling reference:
+//! every Manifest on disk points at DiskChunks on disk, every Hook at a
+//! Manifest on disk. Each individual object write goes through the same
+//! tmp + rename (+ intent, + fsync, per [`Durability`]) path as the plain
+//! directory backend, so a crash *inside* a flush is also recoverable.
+//!
+//! # Read-ahead
+//!
+//! HHR's backward/forward extension reloads stored chunk bytes through
+//! `get_range` in small pieces. With `readahead > 0` the backend pulls the
+//! whole DiskChunk on first touch into a small FIFO cache and serves
+//! subsequent ranges from memory.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+
+use crate::backend::{fsync_dir, intent_dir, io_at, safe_name};
+use crate::{Backend, DirBackend, Durability, FileKind, RecoveryReport, StoreError, StoreResult};
+
+/// Tuning knobs for [`BatchedDirBackend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoConfig {
+    /// Worker threads servicing write batches (`0` = write inline on the
+    /// caller thread; batching and crash ordering still apply).
+    pub threads: usize,
+    /// Flush automatically once this many mutations are pending.
+    pub batch_ops: usize,
+    /// Flush automatically once this many payload bytes are pending.
+    pub batch_bytes: usize,
+    /// DiskChunk read-ahead cache capacity in objects (`0` = off).
+    pub readahead: usize,
+    /// Durability level for every committed write.
+    pub durability: Durability,
+}
+
+impl Default for IoConfig {
+    fn default() -> Self {
+        IoConfig {
+            threads: 4,
+            batch_ops: 128,
+            batch_bytes: 4 << 20,
+            readahead: 8,
+            durability: Durability::default(),
+        }
+    }
+}
+
+/// A mutation waiting in the overlay. `update: false` is a pending `put`
+/// (the target does not exist on disk yet); `update: true` overwrites an
+/// object that does.
+struct Pending {
+    data: Bytes,
+    update: bool,
+}
+
+/// One write job handed to the worker pool: a contiguous slice of a
+/// batch, grouped so channel traffic is per worker, not per object.
+struct Job {
+    kind: FileKind,
+    writes: Vec<(String, Pending)>,
+    done: mpsc::Sender<StoreResult<()>>,
+}
+
+/// The per-worker committer: replicates the directory backend's atomic
+/// tmp + rename (+ intent, + fsync) write path without sharing `&mut`
+/// state with the caller.
+#[derive(Clone)]
+struct JobWriter {
+    root: PathBuf,
+    durability: Durability,
+}
+
+impl JobWriter {
+    fn commit(&self, kind: FileKind, name: &str, data: &[u8], update: bool) -> StoreResult<()> {
+        let dir = self.root.join(kind.dir_name());
+        let safe = safe_name(name);
+        let tmp = dir.join(format!(".{safe}.tmp"));
+        let target = dir.join(&safe);
+        let intent = (update && self.durability != Durability::None)
+            .then(|| intent_dir(&self.root).join(format!("{}__{safe}", kind.dir_name())));
+        if let Some(intent) = &intent {
+            std::fs::write(intent, name.as_bytes())
+                .map_err(|e| io_at("write intent", intent, e))?;
+        }
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_at("create", &tmp, e))?;
+        f.write_all(data).map_err(|e| io_at("write", &tmp, e))?;
+        if self.durability == Durability::Fsync {
+            f.sync_all().map_err(|e| io_at("fsync", &tmp, e))?;
+        }
+        drop(f);
+        std::fs::rename(&tmp, &target).map_err(|e| io_at("rename", &target, e))?;
+        if self.durability == Durability::Fsync {
+            fsync_dir(&dir)?;
+        }
+        if let Some(intent) = &intent {
+            std::fs::remove_file(intent).map_err(|e| io_at("clear intent", intent, e))?;
+        }
+        Ok(())
+    }
+}
+
+struct WorkerPool {
+    jobs: Sender<Job>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(threads: usize, writer: JobWriter) -> Self {
+        let (tx, rx) = bounded::<Job>(threads * 4);
+        let handles = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let writer = writer.clone();
+                std::thread::Builder::new()
+                    .name(format!("mhd-io-{i}"))
+                    .spawn(move || {
+                        for job in rx.iter() {
+                            let mut result = Ok(());
+                            for (name, p) in &job.writes {
+                                result = writer.commit(job.kind, name, &p.data, p.update);
+                                if result.is_err() {
+                                    break;
+                                }
+                            }
+                            // The flush side may have bailed on an earlier
+                            // error; a closed result channel is not a
+                            // failure here.
+                            let _ = job.done.send(result);
+                        }
+                    })
+                    .expect("spawn I/O worker thread")
+            })
+            .collect();
+        WorkerPool { jobs: tx, handles }
+    }
+}
+
+/// A simple FIFO cache of whole DiskChunk payloads for the HHR reload
+/// path. (Deliberately not the LRU from `mhd-cache`: that crate depends on
+/// this one.)
+struct ReadaheadCache {
+    capacity: usize,
+    entries: Vec<(String, Bytes)>,
+}
+
+impl ReadaheadCache {
+    fn new(capacity: usize) -> Self {
+        ReadaheadCache { capacity, entries: Vec::new() }
+    }
+
+    fn get(&self, name: &str) -> Option<&Bytes> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, b)| b)
+    }
+
+    fn insert(&mut self, name: String, data: Bytes) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((name, data));
+    }
+
+    fn invalidate(&mut self, name: &str) {
+        self.entries.retain(|(n, _)| n != name);
+    }
+}
+
+/// Batched, crash-safe directory backend. See the module docs.
+///
+/// Dropping the backend flushes pending writes best-effort; call
+/// [`Backend::flush`] explicitly (the engines do, in `finish()`) to observe
+/// errors.
+pub struct BatchedDirBackend {
+    inner: DirBackend,
+    config: IoConfig,
+    pending: [BTreeMap<String, Pending>; 4],
+    pending_bytes: usize,
+    pool: Option<WorkerPool>,
+    readahead: ReadaheadCache,
+}
+
+impl BatchedDirBackend {
+    /// Creates the store layout under `root` with default [`IoConfig`].
+    pub fn create(root: impl Into<PathBuf>) -> StoreResult<Self> {
+        Self::create_with(root, IoConfig::default())
+    }
+
+    /// Creates the store layout under `root` with explicit tuning.
+    pub fn create_with(root: impl Into<PathBuf>, config: IoConfig) -> StoreResult<Self> {
+        let inner = DirBackend::create_with(root, config.durability)?;
+        let pool = (config.threads > 0).then(|| {
+            let writer =
+                JobWriter { root: inner.root().to_path_buf(), durability: config.durability };
+            WorkerPool::spawn(config.threads, writer)
+        });
+        Ok(BatchedDirBackend {
+            inner,
+            config,
+            pending: Default::default(),
+            pending_bytes: 0,
+            pool,
+            readahead: ReadaheadCache::new(config.readahead),
+        })
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        self.inner.root()
+    }
+
+    /// The active tuning knobs.
+    pub fn config(&self) -> &IoConfig {
+        &self.config
+    }
+
+    /// Mutations currently queued in the overlay.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.iter().map(|m| m.len()).sum()
+    }
+
+    fn pending_of(&self, kind: FileKind) -> &BTreeMap<String, Pending> {
+        &self.pending[kind as usize]
+    }
+
+    fn pending_mut(&mut self, kind: FileKind) -> &mut BTreeMap<String, Pending> {
+        &mut self.pending[kind as usize]
+    }
+
+    fn enqueue(
+        &mut self,
+        kind: FileKind,
+        name: &str,
+        data: &[u8],
+        update: bool,
+    ) -> StoreResult<()> {
+        self.pending_bytes += data.len();
+        if kind == FileKind::DiskChunk {
+            self.readahead.invalidate(name);
+        }
+        if let Some(replaced) = self
+            .pending_mut(kind)
+            .insert(name.to_string(), Pending { data: Bytes::copy_from_slice(data), update })
+        {
+            self.pending_bytes -= replaced.data.len();
+        }
+        mhd_obs::histogram!("store.io_queue_depth").record(self.pending_ops() as u64);
+        if self.pending_ops() >= self.config.batch_ops
+            || self.pending_bytes >= self.config.batch_bytes
+        {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Commits one kind's pending mutations, in parallel when a pool
+    /// exists. Acts as a barrier: every write of this kind is on disk (to
+    /// the configured durability) before this returns.
+    fn flush_kind(&mut self, kind: FileKind) -> StoreResult<()> {
+        let drained = std::mem::take(self.pending_mut(kind));
+        if drained.is_empty() {
+            return Ok(());
+        }
+        match &self.pool {
+            Some(pool) => {
+                // Split the batch into one contiguous group per worker so
+                // channel round-trips scale with the pool, not the batch.
+                let items: Vec<(String, Pending)> = drained.into_iter().collect();
+                let groups = pool.handles.len().min(items.len()).max(1);
+                let per_group = items.len().div_ceil(groups);
+                let mut items = items;
+                let (done_tx, done_rx) = mpsc::channel();
+                let mut sent = 0usize;
+                while !items.is_empty() {
+                    let rest = items.split_off(items.len().min(per_group));
+                    let job = Job { kind, writes: items, done: done_tx.clone() };
+                    items = rest;
+                    pool.jobs.send(job).map_err(|_| {
+                        StoreError::Io(std::io::Error::other("I/O worker pool shut down"))
+                    })?;
+                    sent += 1;
+                }
+                drop(done_tx);
+                let mut first_err = None;
+                for _ in 0..sent {
+                    match done_rx.recv() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                        Err(_) => {
+                            first_err = first_err.or_else(|| {
+                                Some(StoreError::Io(std::io::Error::other(
+                                    "I/O worker died mid-batch",
+                                )))
+                            })
+                        }
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+            None => {
+                for (name, p) in drained {
+                    if p.update {
+                        self.inner.update(kind, &name, &p.data)?;
+                    } else {
+                        self.inner.put(kind, &name, &p.data)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Backend for BatchedDirBackend {
+    fn put(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        if self.pending_of(kind).contains_key(name) || self.inner.exists(kind, name) {
+            return Err(StoreError::AlreadyExists { kind, name: name.to_string() });
+        }
+        self.enqueue(kind, name, data, false)
+    }
+
+    fn update(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        // An update over a pending put coalesces into a single put — the
+        // object never existed on disk, so there is nothing to overwrite.
+        let still_put = match self.pending_of(kind).get(name) {
+            Some(p) => !p.update,
+            None => {
+                if !self.inner.exists(kind, name) {
+                    return Err(StoreError::NotFound { kind, name: name.to_string() });
+                }
+                false
+            }
+        };
+        self.enqueue(kind, name, data, !still_put)
+    }
+
+    fn get(&mut self, kind: FileKind, name: &str) -> StoreResult<Bytes> {
+        if let Some(p) = self.pending_of(kind).get(name) {
+            return Ok(p.data.clone());
+        }
+        if let Some(cached) = self.readahead.get(name) {
+            if kind == FileKind::DiskChunk {
+                mhd_obs::counter!("store.readahead_hits").inc();
+                return Ok(cached.clone());
+            }
+        }
+        self.inner.get(kind, name)
+    }
+
+    fn get_range(
+        &mut self,
+        kind: FileKind,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> StoreResult<Bytes> {
+        let slice = |obj: &Bytes| -> StoreResult<Bytes> {
+            let end = offset.checked_add(len).filter(|&e| e <= obj.len() as u64).ok_or(
+                StoreError::OutOfRange {
+                    name: name.to_string(),
+                    offset,
+                    len,
+                    size: obj.len() as u64,
+                },
+            )?;
+            Ok(obj.slice(offset as usize..end as usize))
+        };
+        if let Some(p) = self.pending_of(kind).get(name) {
+            let data = p.data.clone();
+            return slice(&data);
+        }
+        if kind == FileKind::DiskChunk && self.config.readahead > 0 {
+            if let Some(cached) = self.readahead.get(name) {
+                mhd_obs::counter!("store.readahead_hits").inc();
+                let cached = cached.clone();
+                return slice(&cached);
+            }
+            // Prefetch the whole chunk: HHR's backward/forward extension
+            // walks ranges of the same object.
+            let whole = self.inner.get(kind, name)?;
+            mhd_obs::counter!("store.readahead_fills").inc();
+            self.readahead.insert(name.to_string(), whole.clone());
+            return slice(&whole);
+        }
+        self.inner.get_range(kind, name, offset, len)
+    }
+
+    fn size_of(&mut self, kind: FileKind, name: &str) -> StoreResult<u64> {
+        if let Some(p) = self.pending_of(kind).get(name) {
+            return Ok(p.data.len() as u64);
+        }
+        self.inner.size_of(kind, name)
+    }
+
+    fn exists(&mut self, kind: FileKind, name: &str) -> bool {
+        self.pending_of(kind).contains_key(name) || self.inner.exists(kind, name)
+    }
+
+    fn count(&mut self, kind: FileKind) -> u64 {
+        let pending_puts = self.pending_of(kind).values().filter(|p| !p.update).count() as u64;
+        self.inner.count(kind) + pending_puts
+    }
+
+    fn list(&mut self, kind: FileKind) -> Vec<String> {
+        let mut names = self.inner.list(kind);
+        for (name, p) in self.pending_of(kind) {
+            if !p.update {
+                names.push(name.clone());
+            }
+        }
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    fn delete(&mut self, kind: FileKind, name: &str) -> StoreResult<()> {
+        if kind == FileKind::DiskChunk {
+            self.readahead.invalidate(name);
+        }
+        match self.pending_mut(kind).remove(name) {
+            // A pending put never reached disk: dropping it *is* the delete.
+            Some(p) if !p.update => Ok(()),
+            // A pending update targets an on-disk object; drop the rewrite
+            // and delete the object itself.
+            _ => self.inner.delete(kind, name),
+        }
+    }
+
+    fn flush(&mut self) -> StoreResult<()> {
+        let ops = self.pending_ops();
+        if ops == 0 {
+            return Ok(());
+        }
+        let bytes = self.pending_bytes;
+        let start = Instant::now();
+        self.pending_bytes = 0;
+        for kind in FileKind::FLUSH_ORDER {
+            self.flush_kind(kind)?;
+        }
+        mhd_obs::histogram!("store.io_batch_ops").record(ops as u64);
+        mhd_obs::histogram!("store.io_batch_bytes").record(bytes as u64);
+        mhd_obs::histogram!("store.io_flush_ns").record(start.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    fn recover(&mut self) -> StoreResult<RecoveryReport> {
+        self.inner.recover()
+    }
+}
+
+impl Drop for BatchedDirBackend {
+    fn drop(&mut self) {
+        let _ = self.flush();
+        if let Some(pool) = self.pool.take() {
+            drop(pool.jobs);
+            for handle in pool.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::tests::exercise;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mhd-batched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn configs() -> Vec<(&'static str, IoConfig)> {
+        vec![
+            ("inline", IoConfig { threads: 0, ..IoConfig::default() }),
+            ("pooled", IoConfig { threads: 2, ..IoConfig::default() }),
+            (
+                "tiny-batches",
+                IoConfig { threads: 2, batch_ops: 1, batch_bytes: 1, ..IoConfig::default() },
+            ),
+            (
+                "fsync",
+                IoConfig { threads: 2, durability: Durability::Fsync, ..IoConfig::default() },
+            ),
+            ("no-readahead", IoConfig { readahead: 0, ..IoConfig::default() }),
+        ]
+    }
+
+    #[test]
+    fn batched_backend_contract() {
+        for (tag, config) in configs() {
+            let dir = temp_dir(&format!("contract-{tag}"));
+            exercise(&mut BatchedDirBackend::create_with(&dir, config).unwrap());
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn overlay_reads_see_pending_writes() {
+        let dir = temp_dir("overlay");
+        let config = IoConfig { threads: 2, batch_ops: 1000, ..IoConfig::default() };
+        let mut b = BatchedDirBackend::create_with(&dir, config).unwrap();
+        b.put(FileKind::DiskChunk, "c0", b"pending bytes").unwrap();
+        // Nothing flushed yet, but every read path must see the write.
+        assert_eq!(&b.get(FileKind::DiskChunk, "c0").unwrap()[..], b"pending bytes");
+        assert_eq!(&b.get_range(FileKind::DiskChunk, "c0", 8, 5).unwrap()[..], b"bytes");
+        assert_eq!(b.size_of(FileKind::DiskChunk, "c0").unwrap(), 13);
+        assert!(b.exists(FileKind::DiskChunk, "c0"));
+        assert_eq!(b.count(FileKind::DiskChunk), 1);
+        assert_eq!(b.list(FileKind::DiskChunk), vec!["c0".to_string()]);
+        // Double-put against the overlay is caught.
+        assert!(matches!(
+            b.put(FileKind::DiskChunk, "c0", b"x"),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        b.flush().unwrap();
+        assert_eq!(b.pending_ops(), 0);
+        assert_eq!(&b.get(FileKind::DiskChunk, "c0").unwrap()[..], b"pending bytes");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn update_over_pending_put_coalesces() {
+        let dir = temp_dir("coalesce");
+        let config = IoConfig { threads: 0, batch_ops: 1000, ..IoConfig::default() };
+        let mut b = BatchedDirBackend::create_with(&dir, config).unwrap();
+        b.put(FileKind::Manifest, "m", b"v1").unwrap();
+        b.update(FileKind::Manifest, "m", b"v2").unwrap();
+        b.update(FileKind::Manifest, "m", b"v3").unwrap();
+        assert_eq!(b.pending_ops(), 1, "three mutations, one queued write");
+        b.flush().unwrap();
+        assert_eq!(&b.get(FileKind::Manifest, "m").unwrap()[..], b"v3");
+        // No intent was needed: the coalesced write was a fresh put.
+        assert!(b.recover().unwrap().is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn update_of_missing_object_fails_before_enqueue() {
+        let dir = temp_dir("missing-update");
+        let mut b = BatchedDirBackend::create_with(&dir, IoConfig::default()).unwrap();
+        assert!(matches!(
+            b.update(FileKind::Manifest, "ghost", b"x"),
+            Err(StoreError::NotFound { .. })
+        ));
+        assert_eq!(b.pending_ops(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_of_pending_put_never_touches_disk() {
+        let dir = temp_dir("delete-pending");
+        let config = IoConfig { threads: 0, batch_ops: 1000, ..IoConfig::default() };
+        let mut b = BatchedDirBackend::create_with(&dir, config).unwrap();
+        b.put(FileKind::Hook, "h", b"x").unwrap();
+        b.delete(FileKind::Hook, "h").unwrap();
+        assert!(!b.exists(FileKind::Hook, "h"));
+        b.flush().unwrap();
+        assert_eq!(b.count(FileKind::Hook), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_flush_on_batch_threshold() {
+        let dir = temp_dir("auto-flush");
+        let config = IoConfig { threads: 2, batch_ops: 4, ..IoConfig::default() };
+        let mut b = BatchedDirBackend::create_with(&dir, config).unwrap();
+        for i in 0..4 {
+            b.put(FileKind::DiskChunk, &format!("c{i}"), &[i as u8; 64]).unwrap();
+        }
+        assert_eq!(b.pending_ops(), 0, "threshold crossed, batch committed");
+        // The objects are really on disk, not just in the overlay.
+        let mut plain = DirBackend::create(b.root()).unwrap();
+        assert_eq!(plain.count(FileKind::DiskChunk), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn readahead_serves_ranges_from_one_fill() {
+        let dir = temp_dir("readahead");
+        let config = IoConfig { threads: 0, readahead: 4, ..IoConfig::default() };
+        let mut b = BatchedDirBackend::create_with(&dir, config).unwrap();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        b.put(FileKind::DiskChunk, "c", &payload).unwrap();
+        b.flush().unwrap();
+        for offset in [0u64, 100, 2048, 4000] {
+            let got = b.get_range(FileKind::DiskChunk, "c", offset, 96).unwrap();
+            assert_eq!(&got[..], &payload[offset as usize..offset as usize + 96]);
+        }
+        assert!(matches!(
+            b.get_range(FileKind::DiskChunk, "c", 4090, 100),
+            Err(StoreError::OutOfRange { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_order_is_chunks_before_manifests_before_hooks() {
+        // Not a timing test: verify FLUSH_ORDER is what the dangling-
+        // reference argument in the module docs relies on.
+        assert_eq!(
+            FileKind::FLUSH_ORDER,
+            [FileKind::DiskChunk, FileKind::Manifest, FileKind::Hook, FileKind::FileManifest]
+        );
+    }
+
+    #[test]
+    fn matches_plain_dir_backend_state() {
+        // The same operation sequence through both backends must produce
+        // identical on-disk object sets.
+        let dir_a = temp_dir("equiv-plain");
+        let dir_b = temp_dir("equiv-batched");
+        let mut plain = DirBackend::create(&dir_a).unwrap();
+        let mut batched = BatchedDirBackend::create_with(
+            &dir_b,
+            IoConfig { threads: 3, batch_ops: 5, ..IoConfig::default() },
+        )
+        .unwrap();
+        let ops: &mut [&mut dyn Backend] = &mut [&mut plain, &mut batched];
+        for b in ops.iter_mut() {
+            for i in 0..17 {
+                b.put(FileKind::DiskChunk, &format!("c{i}"), &vec![i as u8; 100 + i]).unwrap();
+                b.put(FileKind::Manifest, &format!("m{i}"), &[0xAA; 36]).unwrap();
+            }
+            for i in 0..17 {
+                b.update(FileKind::Manifest, &format!("m{i}"), &[0xBB; 72]).unwrap();
+            }
+            b.delete(FileKind::DiskChunk, "c3").unwrap();
+            b.flush().unwrap();
+        }
+        for kind in FileKind::ALL {
+            assert_eq!(plain.list(kind), batched.list(kind), "{kind:?} object sets differ");
+            for name in plain.list(kind) {
+                assert_eq!(
+                    &plain.get(kind, &name).unwrap()[..],
+                    &batched.get(kind, &name).unwrap()[..],
+                    "{kind:?}/{name} content differs"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+}

@@ -40,6 +40,16 @@ pub enum StoreError {
     Corrupt(String),
     /// Underlying I/O failure (directory backend) or injected fault.
     Io(std::io::Error),
+    /// An I/O failure with the operation and path that hit it, so a full
+    /// disk reports *where* it ran out, not just "No space left on device".
+    IoAt {
+        /// What the backend was doing (`"write"`, `"rename"`, `"fsync"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -54,6 +64,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::Corrupt(msg) => write!(f, "corrupt object: {msg}"),
             StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::IoAt { op, path, source } => {
+                write!(f, "I/O error: {op} {path}: {source}")
+            }
         }
     }
 }
@@ -62,6 +75,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
+            StoreError::IoAt { source, .. } => Some(source),
             _ => None,
         }
     }

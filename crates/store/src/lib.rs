@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod batched;
 mod chunk_store;
 mod error;
 mod file_manifest;
@@ -36,7 +37,11 @@ mod ledger;
 mod manifest;
 mod substrate;
 
-pub use backend::{Backend, DirBackend, FaultBackend, FileKind, MemBackend};
+pub use backend::{
+    Backend, DirBackend, Durability, FaultBackend, FaultOp, FaultPoint, FileKind, MemBackend,
+    RecoveryReport,
+};
+pub use batched::{BatchedDirBackend, IoConfig};
 pub use chunk_store::{DiskChunkBuilder, DiskChunkId};
 pub use error::{StoreError, StoreResult};
 pub use file_manifest::{Extent, FileManifest, EXTENT_BYTES};

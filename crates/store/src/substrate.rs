@@ -80,6 +80,20 @@ impl<B: Backend> Substrate<B> {
         &mut self.backend
     }
 
+    /// Makes every buffered backend mutation visible and durable. Engines
+    /// call this at `finish()` and at every commit point (GC, compaction),
+    /// so a batched backend never holds committed state only in memory.
+    pub fn flush(&mut self) -> StoreResult<()> {
+        self.backend.flush()
+    }
+
+    /// Runs the backend's crash-recovery pass (torn tmp files, unresolved
+    /// overwrite intents). Call before reading a store that may have been
+    /// interrupted.
+    pub fn recover(&mut self) -> StoreResult<crate::RecoveryReport> {
+        self.backend.recover()
+    }
+
     // ----- DiskChunks --------------------------------------------------
 
     /// Allocates the identity for a new DiskChunk under construction.

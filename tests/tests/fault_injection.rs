@@ -1,13 +1,67 @@
 //! Failure injection: engines must surface backend errors without
 //! panicking, and state committed before the fault must stay readable.
+//!
+//! Two crash models are exercised:
+//!
+//! * **operation-boundary crashes** via [`FaultBackend`]: the n-th backend
+//!   operation fails before mutating anything — the store is whatever the
+//!   engine had committed up to that point;
+//! * **torn physical writes** via `DirBackend::fault_short_write_at`: a
+//!   file write stops half-way, modelling power loss mid-write — the
+//!   atomic tmp+rename path must keep the target object intact and
+//!   recovery must clean up the debris.
 
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use mhd_core::fsck::{check_store, recover_store};
 use mhd_core::{CdcEngine, Deduplicator, EngineConfig, EngineError, MhdEngine};
-use mhd_store::{Backend, FaultBackend, FileKind, MemBackend};
-use mhd_workload::{Corpus, CorpusSpec, Snapshot};
+use mhd_store::{
+    Backend, BatchedDirBackend, DirBackend, Durability, FaultBackend, FaultPoint, FileKind,
+    IoConfig, MemBackend,
+};
+use mhd_workload::{Corpus, CorpusSpec, FileEntry, Snapshot};
 
 fn snapshot(seed: u64) -> Snapshot {
     let corpus = Corpus::generate(CorpusSpec::tiny(seed));
     corpus.snapshots[0].clone()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mhd-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn xorshift_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 24) as u8
+        })
+        .collect()
+}
+
+fn one_file_snapshot(label: &str, data: Vec<u8>) -> Snapshot {
+    Snapshot {
+        machine: 0,
+        day: 0,
+        files: vec![FileEntry { path: format!("{label}/disk.img"), data: Bytes::from(data) }],
+    }
+}
+
+/// A pair of backups where the second edits 1 KiB in the middle of the
+/// first — the canonical BME + HHR trigger (duplicates straddle the edit,
+/// so the merged manifest entry must be hysteresis-split and rewritten).
+fn hhr_backup_pair() -> (Snapshot, Snapshot) {
+    let original = xorshift_bytes(64 << 10, 2);
+    let mut edited = original.clone();
+    let patch = xorshift_bytes(1024, 3);
+    edited[30_000..31_024].copy_from_slice(&patch);
+    (one_file_snapshot("day0", original), one_file_snapshot("day1", edited))
 }
 
 /// Every fault index up to `horizon` either succeeds (fault landed past
@@ -123,4 +177,222 @@ fn earlier_files_restore_after_fault() {
     }
     // (restored == 0 is legal if the fault hit the very first file.)
     let _ = restored;
+}
+
+/// Satellite regression: a write killed mid-way through a manifest rewrite
+/// must leave the old manifest intact (the torn bytes land in the hidden
+/// tmp file, never the target), and recovery must clean up the debris.
+#[test]
+fn torn_manifest_rewrite_preserves_old_content() {
+    let (day0, day1) = hhr_backup_pair();
+    let dir = temp_dir("torn-hhr");
+    let backend = DirBackend::create_with(&dir, Durability::Rename).unwrap();
+    let mut engine = MhdEngine::new(backend, EngineConfig::new(512, 8)).expect("config");
+    engine.process_snapshot(&day0).unwrap();
+    engine.process_snapshot(&day1).unwrap();
+    // finish() writes back the HHR-dirtied manifests; tear the very next
+    // physical file write half-way.
+    engine.substrate_mut().backend_mut().fault_short_write_at(0);
+    let err = engine.finish();
+    assert!(matches!(err, Err(EngineError::Store(_))), "torn write must surface: {err:?}");
+
+    // The torn write went to a tmp file: recovery removes it (plus the
+    // write-ahead intent), and the store is structurally sound.
+    let substrate = engine.substrate_mut();
+    let report = recover_store(substrate).unwrap();
+    assert!(report.tmp_files_removed >= 1, "torn tmp file must be found: {report:?}");
+    assert!(recover_store(substrate).unwrap().is_clean(), "recovery is idempotent");
+    let fsck = check_store(substrate);
+    assert!(fsck.is_healthy(), "problems after torn rewrite: {:?}", fsck.problems);
+
+    // Day-0 content (committed before the torn rewrite) restores exactly.
+    let restored = mhd_core::restore::restore_file(substrate, "day0/disk.img").unwrap();
+    assert_eq!(restored, day0.files[0].data, "day0 must survive the torn day1 rewrite");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite regression: per-kind fault points let a test target exactly
+/// the HHR manifest-rewrite path. Every Manifest-write index across the
+/// HHR run leaves a store whose committed state is consistent.
+#[test]
+fn manifest_write_faults_leave_consistent_store() {
+    let (day0, day1) = hhr_backup_pair();
+    // Count the Manifest writes a clean run performs.
+    let clean = FaultBackend::with_point(
+        MemBackend::new(),
+        FaultPoint::write(Some(FileKind::Manifest), u64::MAX),
+    );
+    let mut engine = MhdEngine::new(clean, EngineConfig::new(512, 8)).expect("config");
+    engine.process_snapshot(&day0).unwrap();
+    engine.process_snapshot(&day1).unwrap();
+    engine.finish().unwrap();
+    let manifest_writes = engine.substrate_mut().backend_mut().matching_ops();
+    assert!(manifest_writes >= 2, "HHR run must write manifests (got {manifest_writes})");
+
+    let mut faulted = 0u64;
+    for fail_at in 0..manifest_writes {
+        let backend = FaultBackend::with_point(
+            MemBackend::new(),
+            FaultPoint::write(Some(FileKind::Manifest), fail_at),
+        );
+        let mut engine = MhdEngine::new(backend, EngineConfig::new(512, 8)).expect("config");
+        let result = engine
+            .process_snapshot(&day0)
+            .and_then(|()| engine.process_snapshot(&day1))
+            .and_then(|()| engine.finish().map(|_| ()));
+        if result.is_err() {
+            faulted += 1;
+        }
+        let substrate = engine.substrate_mut();
+        let fsck = check_store(substrate);
+        assert!(
+            fsck.is_healthy(),
+            "manifest-write fault {fail_at}/{manifest_writes}: {:?}",
+            fsck.problems
+        );
+    }
+    assert_eq!(faulted, manifest_writes, "every targeted manifest write must fire");
+}
+
+/// The crash-during-HHR matrix of the issue: run a backup pair that
+/// triggers BME + HHR over a real directory store, crash at *every* write
+/// index of the second backup, and require that recovery + fsck see a
+/// consistent store and that every day-0 file restores byte-identically.
+#[test]
+fn crash_matrix_during_hhr_recovers_day0() {
+    let (day0, day1) = hhr_backup_pair();
+
+    // Clean run over a directory store: find the write-op window of the
+    // second backup (+ finish), which contains the HHR manifest rewrite.
+    let dir = temp_dir("matrix-clean");
+    let backend = FaultBackend::with_point(
+        DirBackend::create(&dir).unwrap(),
+        FaultPoint::write(None, u64::MAX),
+    );
+    let mut engine = MhdEngine::new(backend, EngineConfig::new(512, 8)).expect("config");
+    engine.process_snapshot(&day0).unwrap();
+    let day0_writes = engine.substrate_mut().backend_mut().matching_ops();
+    engine.process_snapshot(&day1).unwrap();
+    engine.finish().unwrap();
+    let total_writes = engine.substrate_mut().backend_mut().matching_ops();
+    drop(engine);
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(total_writes > day0_writes, "backup 2 must write");
+
+    for fail_at in day0_writes..total_writes {
+        let dir = temp_dir("matrix");
+        let backend = FaultBackend::with_point(
+            DirBackend::create(&dir).unwrap(),
+            FaultPoint::write(None, fail_at),
+        );
+        let mut engine = MhdEngine::new(backend, EngineConfig::new(512, 8)).expect("config");
+        engine.process_snapshot(&day0).expect("backup 1 is before the fault window");
+        let result = engine.process_snapshot(&day1).and_then(|()| engine.finish().map(|_| ()));
+        assert!(result.is_err(), "write fault {fail_at} must fire during backup 2");
+
+        // Crash "happened": recover the store and check every invariant.
+        let substrate = engine.substrate_mut();
+        recover_store(substrate).unwrap();
+        let fsck = check_store(substrate);
+        assert!(
+            fsck.is_healthy(),
+            "crash at write {fail_at} ({}..{}): {:?}",
+            day0_writes,
+            total_writes,
+            fsck.problems
+        );
+        // The pre-crash backup restores byte-identically.
+        let restored = mhd_core::restore::restore_file(substrate, "day0/disk.img")
+            .unwrap_or_else(|e| panic!("crash at write {fail_at}: day0 unrestorable: {e}"));
+        assert_eq!(restored, day0.files[0].data, "crash at write {fail_at}");
+        drop(engine);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The batched backend with worker threads and fsync durability must
+/// produce the same dedup results as the write-through backends — batching
+/// must be invisible to the engines. Exercised for all five paper engines.
+#[test]
+fn engines_identical_across_backends() {
+    use mhd_core::{BimodalEngine, SparseIndexEngine, SubChunkEngine};
+
+    let corpus = Corpus::generate(CorpusSpec::tiny(505));
+
+    fn run<B: Backend, D: Deduplicator>(
+        make: impl FnOnce(B) -> D,
+        backend: B,
+        corpus: &Corpus,
+    ) -> mhd_core::DedupReport {
+        let mut engine = make(backend);
+        for s in &corpus.snapshots {
+            engine.process_snapshot(s).expect("dedup");
+        }
+        engine.finish().expect("finish")
+    }
+
+    // One comparison triple per engine: MemBackend (reference),
+    // write-through DirBackend, and the batched pool with fsync.
+    macro_rules! compare {
+        ($name:literal, $ctor:expr) => {{
+            let mem = run($ctor, MemBackend::new(), &corpus);
+            let dir_root = temp_dir(concat!("equiv-dir-", $name));
+            let dir = run($ctor, DirBackend::create(&dir_root).unwrap(), &corpus);
+            let batched_root = temp_dir(concat!("equiv-batched-", $name));
+            let batched = run(
+                $ctor,
+                BatchedDirBackend::create_with(
+                    &batched_root,
+                    IoConfig {
+                        threads: 3,
+                        batch_ops: 7,
+                        durability: Durability::Fsync,
+                        ..IoConfig::default()
+                    },
+                )
+                .unwrap(),
+                &corpus,
+            );
+            for (label, other) in [("dir", &dir), ("batched", &batched)] {
+                assert_eq!(mem.input_bytes, other.input_bytes, "{} {label}", $name);
+                assert_eq!(mem.dup_bytes, other.dup_bytes, "{} {label}", $name);
+                assert_eq!(mem.dup_slices, other.dup_slices, "{} {label}", $name);
+                assert_eq!(mem.chunks_stored, other.chunks_stored, "{} {label}", $name);
+                assert_eq!(mem.chunks_dup, other.chunks_dup, "{} {label}", $name);
+                assert_eq!(mem.hhr_count, other.hhr_count, "{} {label}", $name);
+                assert_eq!(mem.stats, other.stats, "{} {label}", $name);
+                assert_eq!(mem.ledger, other.ledger, "{} {label}", $name);
+            }
+            std::fs::remove_dir_all(&dir_root).unwrap();
+            std::fs::remove_dir_all(&batched_root).unwrap();
+        }};
+    }
+
+    let config = EngineConfig::new(512, 8);
+    compare!("mhd", |b| MhdEngine::new(b, config).expect("config"));
+    compare!("cdc", |b| CdcEngine::new(b, config).expect("config"));
+    compare!("bimodal", |b| BimodalEngine::new(b, config).expect("config"));
+    compare!("subchunk", |b| SubChunkEngine::new(b, config).expect("config"));
+    compare!("sparse", |b| SparseIndexEngine::new(b, config).expect("config"));
+}
+
+/// Read-side fault points: a failed chunk reload during HHR's byte
+/// re-reads must surface as an error, not corrupt the store.
+#[test]
+fn read_fault_during_hhr_reload_is_clean() {
+    let (day0, day1) = hhr_backup_pair();
+    // HHR reloads stored chunk bytes through get_range on DiskChunks.
+    let backend =
+        FaultBackend::with_point(MemBackend::new(), FaultPoint::read(Some(FileKind::DiskChunk), 0));
+    let mut engine = MhdEngine::new(backend, EngineConfig::new(512, 8)).expect("config");
+    engine.process_snapshot(&day0).unwrap();
+    let result = engine.process_snapshot(&day1).and_then(|()| engine.finish().map(|_| ()));
+    // Whether or not the reload happened before the fault index, the store
+    // must stay consistent.
+    let _ = result;
+    let substrate = engine.substrate_mut();
+    let fsck = check_store(substrate);
+    assert!(fsck.is_healthy(), "{:?}", fsck.problems);
+    let restored = mhd_core::restore::restore_file(substrate, "day0/disk.img").unwrap();
+    assert_eq!(restored, day0.files[0].data);
 }
