@@ -9,9 +9,12 @@
 #   2. crash safety — the fault matrix + a --durability fsync smoke backup
 #   3. feature matrix — the obs-disabled workspace still builds, and the
 #      store/core crash-safety tests pass with obs compiled out
-#   4. rustfmt   — style, enforced via rustfmt.toml
-#   5. clippy    — all targets, warnings are errors
-#   6. rustdoc   — every public item documented, no broken links
+#   4. analysis  — `mhd compare` finds zero regressions across two
+#      same-seed runs (and flags differing runs), and `mhd trace analyze`
+#      digests a bench-produced trace
+#   5. rustfmt   — style, enforced via rustfmt.toml
+#   6. clippy    — all targets, warnings are errors
+#   7. rustdoc   — every public item documented, no broken links
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,6 +44,27 @@ head -c 262144 /dev/urandom > "$SMOKE/src/disk.img"
 ./target/release/mhd fsck --store "$SMOKE/store"
 ./target/release/mhd restore smoke-0/disk.img --store "$SMOKE/store" -o "$SMOKE/restored.img"
 cmp "$SMOKE/src/disk.img" "$SMOKE/restored.img"
+
+step "analysis: mhd compare on two same-seed runs + mhd trace analyze"
+./target/release/table1 --bytes 4M --internals --out "$SMOKE/run_a" > /dev/null
+./target/release/table1 --bytes 4M --internals --out "$SMOKE/run_b" > /dev/null
+# Same seed, same size: deterministic counters and histogram counts, so
+# the comparator must find zero regressions (timing sums are excluded by
+# default precisely to make this gate stable).
+./target/release/mhd compare \
+    "$SMOKE/run_a/table1_internals.json" "$SMOKE/run_b/table1_internals.json"
+# A differently-sized run must trip the regression gate (nonzero exit).
+# 32M clears the corpus generator's 64 KiB/machine floor (4M does not),
+# so the two runs chunk genuinely different inputs.
+./target/release/table1 --bytes 32M --internals --out "$SMOKE/run_c" \
+    --trace "$SMOKE/run_c/trace.json" > /dev/null
+if ./target/release/mhd compare \
+    "$SMOKE/run_a/table1_internals.json" "$SMOKE/run_c/table1_internals.json" > /dev/null
+then
+    echo "error: mhd compare must exit nonzero on differing runs" >&2
+    exit 1
+fi
+./target/release/mhd trace analyze "$SMOKE/run_c/trace.jsonl"
 
 step "feature matrix: cargo build --workspace --no-default-features"
 cargo build --workspace --no-default-features

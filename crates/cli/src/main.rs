@@ -8,6 +8,8 @@
 //! mhd ls             --store <store>
 //! mhd stats          --store <store> [--internals [--pretty]]
 //! mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]
+//! mhd trace analyze  <file.jsonl> | --store <store>  [--json] [--buckets N]
+//! mhd compare        <a.json> <b.json> [--fail-on <pct>] [--include-timings] [--json]
 //! mhd fsck           --store <store> [--deep]
 //! ```
 //!
@@ -26,7 +28,7 @@ use session::Session;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n                     [--io-threads N] [--durability none|rename|fsync] [--trace]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals [--pretty]]\n  mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]\n  mhd verify         --store <store> [--deep]\n  mhd fsck           --store <store> [--deep]   (crash recovery + verify)\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]"
+        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n                     [--io-threads N] [--durability none|rename|fsync] [--trace]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals [--pretty]]\n  mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]\n  mhd trace analyze  <file.jsonl> | --store <store>  [--json] [--buckets N]\n  mhd compare        <a.json> <b.json> [--fail-on <pct>] [--include-timings] [--json]\n  mhd verify         --store <store> [--deep]\n  mhd fsck           --store <store> [--deep]   (crash recovery + verify)\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]"
     );
     std::process::exit(2)
 }
@@ -39,7 +41,9 @@ fn main() -> ExitCode {
         "restore" => cmd_restore(&args[1..]),
         "ls" => cmd_ls(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "trace" if args.get(1).is_some_and(|a| a == "analyze") => cmd_trace_analyze(&args[2..]),
         "trace" => cmd_trace(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "fsck" => cmd_fsck(&args[1..]),
         "rm" => cmd_rm(&args[1..]),
@@ -357,6 +361,98 @@ fn cmd_trace(args: &[String]) -> CliResult {
         }
     }
     Ok(())
+}
+
+/// `mhd trace analyze`: derive per-stage wall time, thread utilization,
+/// stage overlap, stall intervals and event-rate timelines from a JSONL
+/// trace file (or the trace persisted in a store). Parsing is lenient —
+/// blank and garbage lines are skipped with a warning, and truncated
+/// traces (ring drops, guards outliving `trace_stop`) are reported, not
+/// fatal.
+fn cmd_trace_analyze(args: &[String]) -> CliResult {
+    let records = match args.first().filter(|a| !a.starts_with("--")) {
+        Some(file) => {
+            let input =
+                std::fs::read_to_string(file).map_err(|e| format!("read trace {file}: {e}"))?;
+            let (records, skipped) = mhd_obs::trace_from_jsonl_lossy(&input);
+            if skipped > 0 {
+                eprintln!("warning: skipped {skipped} unparseable line(s) in {file}");
+            }
+            records
+        }
+        None => {
+            let store = store_path(args).map_err(|_| {
+                "trace analyze needs a <file.jsonl> argument or --store <store>".to_string()
+            })?;
+            let session = Session::open_readonly(&store)?;
+            session.load_trace().ok_or_else(|| {
+                "no trace in this store yet; run `mhd backup <dir> --trace` first".to_string()
+            })?
+        }
+    };
+    let mut opts = mhd_obs::analysis::AnalyzeOptions::default();
+    if let Some(buckets) = flag_value(args, "--buckets") {
+        opts.rate_buckets = buckets.parse()?;
+    }
+    let analysis = mhd_obs::analysis::analyze(&records, &opts);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&analysis)?);
+    } else {
+        print!("{}", analysis.render());
+    }
+    Ok(())
+}
+
+/// `mhd compare`: align two `--internals` snapshots (counters, histograms
+/// and per-scope sub-snapshots) and report every drifted metric facet.
+/// Exits nonzero when any aligned facet moved past the threshold, so CI
+/// can gate on it.
+fn cmd_compare(args: &[String]) -> CliResult {
+    let positional: Vec<&String> = {
+        // Skip flag values so `--fail-on 5 a.json b.json` parses too.
+        let mut out = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if arg == "--fail-on" || arg == "--store" {
+                iter.next();
+            } else if !arg.starts_with("--") {
+                out.push(arg);
+            }
+        }
+        out
+    };
+    let [base_path, new_path] = positional.as_slice() else {
+        return Err("compare needs two internals JSON files: mhd compare <a.json> <b.json>".into());
+    };
+    let load = |path: &str| -> Result<mhd_obs::Snapshot, Box<dyn std::error::Error>> {
+        let data =
+            std::fs::read_to_string(path).map_err(|e| format!("read snapshot {path}: {e}"))?;
+        serde_json::from_str(&data).map_err(|e| format!("parse snapshot {path}: {e}").into())
+    };
+    let base = load(base_path)?;
+    let new = load(new_path)?;
+    let mut opts = mhd_obs::compare::CompareOptions {
+        include_timings: args.iter().any(|a| a == "--include-timings"),
+        ..Default::default()
+    };
+    if let Some(pct) = flag_value(args, "--fail-on") {
+        opts.fail_pct = pct.parse()?;
+    }
+    let report = mhd_obs::compare::compare_snapshots(&base, &new, &opts);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric facet(s) regressed past {}% ({} vs {})",
+            report.regressions, opts.fail_pct, base_path, new_path
+        )
+        .into())
+    }
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {

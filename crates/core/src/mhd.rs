@@ -174,8 +174,11 @@ impl<B: Backend> MhdEngine<B> {
             },
         };
         let manifest = self.substrate.load_manifest(mid)?;
-        let idx = manifest.entries.iter().position(|e| e.hash == hash).map(|i| i as u32);
         self.insert_into_cache(manifest)?;
+        // Resolve the entry through the cache's per-manifest hash index
+        // built on fill — a linear scan here is O(entries) per hook hit,
+        // which dominates on large manifests.
+        let idx = self.cache.peek(mid).and_then(|cached| cached.find(&hash));
         // Hooks are immutable and HHR never re-chunks Hook entries, so the
         // hash is always present in the Manifest its Hook points to.
         debug_assert!(idx.is_some(), "hook points at manifest lacking its hash");

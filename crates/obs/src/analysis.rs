@@ -1,0 +1,742 @@
+//! Trace analysis: stage/stall/utilization statistics derived from a
+//! [`TraceRecord`] stream.
+//!
+//! Chrome traces answer "what does the run look like"; this module answers
+//! the quantitative follow-ups — where wall time went per stage, how busy
+//! each thread was, how much stage work overlapped, and where the pipeline
+//! stalled (no stage open on any thread) — without eyeballing a timeline.
+//! The entry point is [`analyze`]; the result ([`TraceAnalysis`]) is
+//! serializable for exhibits and renders as an aligned text report for
+//! terminals (`TraceAnalysis::render`).
+//!
+//! Truncated traces are first-class inputs. The recording rings are
+//! bounded, so a busy run drops its oldest events: a `StageEnd` can
+//! survive while its `StageBegin` fell off the ring, and a stage guard
+//! alive when `trace_stop()` disarmed tracing never records its end.
+//! [`balance_stages`] resolves both without panicking — an orphan end is
+//! clamped to the observation window's start, an unclosed begin to its
+//! end, and each is tallied in [`BalancedStages`] so reports can state how
+//! much of the trace was reconstructed.
+
+use serde::Serialize;
+
+use crate::{TraceEvent, TraceRecord};
+
+/// One closed (possibly synthesized) stage interval on one thread.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageInterval {
+    /// Stage name.
+    pub stage: String,
+    /// Recording thread id.
+    pub tid: u32,
+    /// Interval start, nanoseconds on the trace clock.
+    pub start_ns: u64,
+    /// Interval end, nanoseconds on the trace clock.
+    pub end_ns: u64,
+    /// True when the `StageBegin` was lost (ring drop) and the start was
+    /// clamped to the observation window's first timestamp.
+    pub synthetic_begin: bool,
+    /// True when the `StageEnd` was lost (guard outlived `trace_stop`, or
+    /// mis-nested teardown) and the end was clamped forward.
+    pub synthetic_end: bool,
+}
+
+impl StageInterval {
+    /// Interval length in nanoseconds.
+    pub fn len_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Output of [`balance_stages`]: every stage occurrence as a closed
+/// interval, plus tallies of how many endpoints had to be synthesized.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct BalancedStages {
+    /// Closed intervals, sorted by `(start_ns, tid)`.
+    pub intervals: Vec<StageInterval>,
+    /// `StageEnd` events whose begin was lost (oldest-first ring drops).
+    pub orphan_ends: u64,
+    /// `StageBegin` events whose end was lost (guard dropped after
+    /// `trace_stop`, or closed out of nesting order).
+    pub unclosed_begins: u64,
+}
+
+/// Pairs `StageBegin`/`StageEnd` events into closed intervals, tolerating
+/// truncation.
+///
+/// Per thread, begins push onto a stack and an end closes the nearest
+/// open frame with the same name (frames stacked above it are closed at
+/// the same timestamp and counted as unclosed — RAII guards cannot
+/// mis-nest, so this only triggers on partial traces). An end with no
+/// matching open frame means the begin fell off the recording ring: the
+/// interval is kept, its start clamped to the window's first timestamp.
+/// Frames still open after the last record are closed at the window's
+/// last timestamp. The observation window spans every record in the
+/// input, point events included.
+pub fn balance_stages(records: &[TraceRecord]) -> BalancedStages {
+    let mut out = BalancedStages::default();
+    if records.is_empty() {
+        return out;
+    }
+    let mut order: Vec<&TraceRecord> = records.iter().collect();
+    order.sort_by_key(|r| (r.ts_ns, r.tid));
+    let window_min = order.first().expect("non-empty").ts_ns;
+    let window_max = order.last().expect("non-empty").ts_ns;
+
+    // Per-tid stacks of open frames: (stage name, begin timestamp).
+    let mut open: Vec<(u32, Vec<(String, u64)>)> = Vec::new();
+    let stack_of = |open: &mut Vec<(u32, Vec<(String, u64)>)>, tid: u32| -> usize {
+        match open.iter().position(|(t, _)| *t == tid) {
+            Some(i) => i,
+            None => {
+                open.push((tid, Vec::new()));
+                open.len() - 1
+            }
+        }
+    };
+
+    for record in &order {
+        match &record.event {
+            TraceEvent::StageBegin { stage } => {
+                let i = stack_of(&mut open, record.tid);
+                open[i].1.push((stage.clone(), record.ts_ns));
+            }
+            TraceEvent::StageEnd { stage } => {
+                let i = stack_of(&mut open, record.tid);
+                let stack = &mut open[i].1;
+                match stack.iter().rposition(|(name, _)| name == stage) {
+                    Some(pos) => {
+                        // Frames above the match lost their own ends;
+                        // close them here (inner-first) and tally.
+                        while stack.len() > pos + 1 {
+                            let (name, begin) = stack.pop().expect("len checked");
+                            out.unclosed_begins += 1;
+                            out.intervals.push(StageInterval {
+                                stage: name,
+                                tid: record.tid,
+                                start_ns: begin,
+                                end_ns: record.ts_ns,
+                                synthetic_begin: false,
+                                synthetic_end: true,
+                            });
+                        }
+                        let (name, begin) = stack.pop().expect("matched frame");
+                        out.intervals.push(StageInterval {
+                            stage: name,
+                            tid: record.tid,
+                            start_ns: begin,
+                            end_ns: record.ts_ns,
+                            synthetic_begin: false,
+                            synthetic_end: false,
+                        });
+                    }
+                    None => {
+                        // The begin fell off the ring: the stage was open
+                        // since at least the window start.
+                        out.orphan_ends += 1;
+                        out.intervals.push(StageInterval {
+                            stage: stage.clone(),
+                            tid: record.tid,
+                            start_ns: window_min,
+                            end_ns: record.ts_ns,
+                            synthetic_begin: true,
+                            synthetic_end: false,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in open {
+        // Close leftovers inner-first so same-timestamp ends nest.
+        for (name, begin) in stack.into_iter().rev() {
+            out.unclosed_begins += 1;
+            out.intervals.push(StageInterval {
+                stage: name,
+                tid,
+                start_ns: begin,
+                end_ns: window_max,
+                synthetic_begin: false,
+                synthetic_end: true,
+            });
+        }
+    }
+    out.intervals.sort_by_key(|a| (a.start_ns, a.tid));
+    out
+}
+
+/// Tuning for [`analyze`].
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Number of time buckets in the event-rate timelines.
+    pub rate_buckets: usize,
+    /// Cap on the number of stall intervals listed verbatim in the
+    /// analysis (totals always cover every gap).
+    pub max_stall_intervals: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions { rate_buckets: 50, max_stall_intervals: 32 }
+    }
+}
+
+/// Aggregate statistics for one stage name.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageStats {
+    /// Stage name.
+    pub stage: String,
+    /// Closed intervals observed.
+    pub count: u64,
+    /// Summed interval length, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest interval.
+    pub min_ns: u64,
+    /// Longest interval.
+    pub max_ns: u64,
+    /// Intervals with a synthesized endpoint (truncation repairs).
+    pub synthetic: u64,
+}
+
+/// Busy-time summary for one recording thread.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ThreadUtilization {
+    /// Recording thread id.
+    pub tid: u32,
+    /// Events recorded by this thread (stages and instants).
+    pub events: u64,
+    /// Stage intervals closed on this thread.
+    pub stages: u64,
+    /// Length of the union of this thread's stage intervals, nanoseconds.
+    pub busy_ns: u64,
+    /// `busy_ns` over the observation window (0.0 when the window is
+    /// empty).
+    pub utilization: f64,
+}
+
+/// Pipeline stall statistics: sub-windows with no stage open on any
+/// thread.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct StallStats {
+    /// Number of stall gaps.
+    pub count: u64,
+    /// Summed gap length, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single gap.
+    pub longest_ns: u64,
+    /// The gaps themselves as `(start_ns, end_ns)`, longest first,
+    /// truncated to `AnalyzeOptions::max_stall_intervals`.
+    pub intervals: Vec<(u64, u64)>,
+}
+
+/// Events-per-bucket timeline for one point-event kind.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EventRate {
+    /// Event kind (`TraceEvent::kind`).
+    pub kind: String,
+    /// Total occurrences in the trace.
+    pub total: u64,
+    /// Occurrences per time bucket (bucket width is
+    /// `TraceAnalysis::bucket_ns`).
+    pub per_bucket: Vec<u64>,
+}
+
+/// The full derived view of one trace. Produced by [`analyze`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct TraceAnalysis {
+    /// Records analyzed.
+    pub events: u64,
+    /// Observation window start (first record timestamp).
+    pub window_start_ns: u64,
+    /// Observation window length (first to last record).
+    pub wall_ns: u64,
+    /// Distinct recording threads seen.
+    pub threads: u64,
+    /// Per-stage aggregates, largest `total_ns` first.
+    pub stages: Vec<StageStats>,
+    /// Per-thread busy time, by tid.
+    pub thread_utilization: Vec<ThreadUtilization>,
+    /// Time with at least two stages open concurrently (any threads).
+    pub overlap_ns: u64,
+    /// Time at each concurrency level as `(open stages, ns)`, level
+    /// ascending; level 0 equals the stall total.
+    pub concurrency: Vec<(u64, u64)>,
+    /// Gaps with no stage open anywhere.
+    pub stalls: StallStats,
+    /// `StageEnd`s whose begin was lost to a ring drop.
+    pub orphan_ends: u64,
+    /// `StageBegin`s whose end was never recorded.
+    pub unclosed_begins: u64,
+    /// Width of one event-rate bucket, nanoseconds.
+    pub bucket_ns: u64,
+    /// Per-kind event timelines, busiest kind first.
+    pub rates: Vec<EventRate>,
+}
+
+/// Merges intervals (already sorted by start) into their disjoint union;
+/// returns the union segments.
+fn union_segments(sorted: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for &(start, end) in sorted {
+        match out.last_mut() {
+            Some((_, last_end)) if start <= *last_end => *last_end = (*last_end).max(end),
+            _ => out.push((start, end)),
+        }
+    }
+    out
+}
+
+/// Derives [`TraceAnalysis`] from a record stream. The input need not be
+/// sorted and may be truncated (see [`balance_stages`]); an empty input
+/// yields an all-zero analysis.
+pub fn analyze(records: &[TraceRecord], opts: &AnalyzeOptions) -> TraceAnalysis {
+    let mut analysis = TraceAnalysis { events: records.len() as u64, ..Default::default() };
+    if records.is_empty() {
+        return analysis;
+    }
+    let window_min = records.iter().map(|r| r.ts_ns).min().expect("non-empty");
+    let window_max = records.iter().map(|r| r.ts_ns).max().expect("non-empty");
+    analysis.window_start_ns = window_min;
+    analysis.wall_ns = window_max - window_min;
+
+    let balanced = balance_stages(records);
+    analysis.orphan_ends = balanced.orphan_ends;
+    analysis.unclosed_begins = balanced.unclosed_begins;
+
+    // Per-stage aggregates.
+    for interval in &balanced.intervals {
+        let len = interval.len_ns();
+        let synthetic = u64::from(interval.synthetic_begin || interval.synthetic_end);
+        match analysis.stages.iter_mut().find(|s| s.stage == interval.stage) {
+            Some(s) => {
+                s.count += 1;
+                s.total_ns += len;
+                s.min_ns = s.min_ns.min(len);
+                s.max_ns = s.max_ns.max(len);
+                s.synthetic += synthetic;
+            }
+            None => analysis.stages.push(StageStats {
+                stage: interval.stage.clone(),
+                count: 1,
+                total_ns: len,
+                min_ns: len,
+                max_ns: len,
+                synthetic,
+            }),
+        }
+    }
+    analysis.stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.stage.cmp(&b.stage)));
+
+    // Per-thread utilization: union of the thread's own intervals.
+    let mut tids: Vec<u32> = records.iter().map(|r| r.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    analysis.threads = tids.len() as u64;
+    let wall = analysis.wall_ns;
+    for tid in tids {
+        let mut spans: Vec<(u64, u64)> = balanced
+            .intervals
+            .iter()
+            .filter(|i| i.tid == tid)
+            .map(|i| (i.start_ns, i.end_ns))
+            .collect();
+        spans.sort_unstable();
+        let stages = spans.len() as u64;
+        let busy_ns: u64 = union_segments(&spans).iter().map(|(s, e)| e - s).sum();
+        analysis.thread_utilization.push(ThreadUtilization {
+            tid,
+            events: records.iter().filter(|r| r.tid == tid).count() as u64,
+            stages,
+            busy_ns,
+            utilization: if wall == 0 { 0.0 } else { busy_ns as f64 / wall as f64 },
+        });
+    }
+
+    // Concurrency sweep: +1 at every interval start, -1 at every end;
+    // accumulate time per open-stage depth between change points.
+    let mut edges: Vec<(u64, i64)> = Vec::with_capacity(balanced.intervals.len() * 2);
+    for interval in &balanced.intervals {
+        edges.push((interval.start_ns, 1));
+        edges.push((interval.end_ns, -1));
+    }
+    edges.sort_unstable();
+    let mut depth_time: Vec<u64> = Vec::new();
+    let mut at = |depth: i64, ns: u64| {
+        let depth = depth.max(0) as usize;
+        if depth_time.len() <= depth {
+            depth_time.resize(depth + 1, 0);
+        }
+        depth_time[depth] += ns;
+    };
+    let mut depth = 0i64;
+    let mut cursor = window_min;
+    let mut stall_gaps: Vec<(u64, u64)> = Vec::new();
+    for (ts, delta) in edges {
+        if ts > cursor {
+            at(depth, ts - cursor);
+            if depth == 0 {
+                stall_gaps.push((cursor, ts));
+            }
+            cursor = ts;
+        }
+        depth += delta;
+    }
+    if window_max > cursor {
+        at(depth, window_max - cursor);
+        if depth == 0 {
+            stall_gaps.push((cursor, window_max));
+        }
+    }
+    if balanced.intervals.is_empty() {
+        // No stage data at all: the whole window counted as depth 0 above,
+        // but calling it one giant stall would be noise, not signal.
+        stall_gaps.clear();
+        depth_time.clear();
+    }
+    analysis.concurrency = depth_time
+        .iter()
+        .enumerate()
+        .map(|(d, &ns)| (d as u64, ns))
+        .filter(|&(_, ns)| ns > 0)
+        .collect();
+    analysis.overlap_ns =
+        analysis.concurrency.iter().filter(|&&(d, _)| d >= 2).map(|&(_, ns)| ns).sum();
+
+    analysis.stalls.count = stall_gaps.len() as u64;
+    analysis.stalls.total_ns = stall_gaps.iter().map(|(s, e)| e - s).sum();
+    analysis.stalls.longest_ns = stall_gaps.iter().map(|(s, e)| e - s).max().unwrap_or(0);
+    stall_gaps.sort_by_key(|(s, e)| (u64::MAX - (e - s), *s));
+    stall_gaps.truncate(opts.max_stall_intervals);
+    analysis.stalls.intervals = stall_gaps;
+
+    // Event-rate timelines over the point events.
+    let buckets = opts.rate_buckets.max(1);
+    analysis.bucket_ns = (analysis.wall_ns / buckets as u64).max(1);
+    for record in records {
+        let kind = match record.event {
+            TraceEvent::StageBegin { .. } | TraceEvent::StageEnd { .. } => continue,
+            ref e => e.kind(),
+        };
+        let bucket = (((record.ts_ns - window_min) / analysis.bucket_ns) as usize).min(buckets - 1);
+        let rate = match analysis.rates.iter_mut().find(|r| r.kind == kind) {
+            Some(r) => r,
+            None => {
+                analysis.rates.push(EventRate {
+                    kind: kind.to_string(),
+                    total: 0,
+                    per_bucket: vec![0; buckets],
+                });
+                analysis.rates.last_mut().expect("just pushed")
+            }
+        };
+        rate.total += 1;
+        rate.per_bucket[bucket] += 1;
+    }
+    analysis.rates.sort_by(|a, b| b.total.cmp(&a.total).then(a.kind.cmp(&b.kind)));
+    analysis
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+impl TraceAnalysis {
+    /// Renders the analysis as an aligned, human-readable text report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace analysis: {} events on {} thread(s), wall {}",
+            self.events,
+            self.threads,
+            fmt_ns(self.wall_ns)
+        );
+        if self.orphan_ends + self.unclosed_begins > 0 {
+            let _ = writeln!(
+                out,
+                "truncation: {} orphan StageEnd (begin lost to ring drop), {} unclosed StageBegin (end never recorded)",
+                self.orphan_ends, self.unclosed_begins
+            );
+        }
+        if !self.stages.is_empty() {
+            let name_w =
+                self.stages.iter().map(|s| s.stage.len()).max().unwrap_or(0).max("stage".len());
+            let _ = writeln!(
+                out,
+                "\n{:<name_w$}  {:>6} {:>10} {:>10} {:>10} {:>10} {:>6}",
+                "stage", "count", "total", "mean", "min", "max", "%wall"
+            );
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "{:<name_w$}  {:>6} {:>10} {:>10} {:>10} {:>10} {:>5.1}%{}",
+                    s.stage,
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.total_ns / s.count.max(1)),
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.max_ns),
+                    if self.wall_ns == 0 {
+                        0.0
+                    } else {
+                        s.total_ns as f64 / self.wall_ns as f64 * 100.0
+                    },
+                    if s.synthetic > 0 { " (truncated)" } else { "" },
+                );
+            }
+        }
+        if !self.thread_utilization.is_empty() {
+            let _ = writeln!(out, "\nthreads:");
+            for t in &self.thread_utilization {
+                let _ = writeln!(
+                    out,
+                    "  tid {:<3} {:>5.1}% busy ({} over {} stage intervals, {} events)",
+                    t.tid,
+                    t.utilization * 100.0,
+                    fmt_ns(t.busy_ns),
+                    t.stages,
+                    t.events
+                );
+            }
+        }
+        if !self.concurrency.is_empty() {
+            let parts: Vec<String> = self
+                .concurrency
+                .iter()
+                .map(|&(depth, ns)| {
+                    format!(
+                        "{depth} open {} ({:.1}%)",
+                        fmt_ns(ns),
+                        if self.wall_ns == 0 {
+                            0.0
+                        } else {
+                            ns as f64 / self.wall_ns as f64 * 100.0
+                        }
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "\nconcurrency: {}", parts.join(" | "));
+            let _ = writeln!(out, "stage overlap (>=2 open): {}", fmt_ns(self.overlap_ns));
+        }
+        if self.stalls.count > 0 {
+            let _ = writeln!(
+                out,
+                "stalls (no stage open): {} gap(s), total {}, longest {}",
+                self.stalls.count,
+                fmt_ns(self.stalls.total_ns),
+                fmt_ns(self.stalls.longest_ns)
+            );
+            for &(start, end) in &self.stalls.intervals {
+                let _ = writeln!(
+                    out,
+                    "  [{} .. {}] {}",
+                    fmt_ns(start.saturating_sub(self.window_start_ns)),
+                    fmt_ns(end.saturating_sub(self.window_start_ns)),
+                    fmt_ns(end - start)
+                );
+            }
+        } else if !self.stages.is_empty() {
+            let _ = writeln!(out, "stalls (no stage open): none");
+        }
+        if !self.rates.is_empty() {
+            let _ = writeln!(out, "\nevent rates (bucket {}):", fmt_ns(self.bucket_ns));
+            let name_w = self.rates.iter().map(|r| r.kind.len()).max().unwrap_or(0);
+            for r in &self.rates {
+                let peak = r.per_bucket.iter().copied().max().unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<name_w$}  total {:>8}, peak {:>6}/bucket  {}",
+                    r.kind,
+                    r.total,
+                    peak,
+                    sparkline(&r.per_bucket)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Renders per-bucket counts as a unicode sparkline (empty buckets as
+/// spaces), compressing to at most 50 columns.
+fn sparkline(buckets: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let cols = buckets.len().min(50);
+    if cols == 0 {
+        return String::new();
+    }
+    // Re-bucket to the column count by summing.
+    let mut merged = vec![0u64; cols];
+    for (i, &n) in buckets.iter().enumerate() {
+        merged[i * cols / buckets.len()] += n;
+    }
+    let max = merged.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return " ".repeat(cols);
+    }
+    merged
+        .iter()
+        .map(
+            |&n| {
+                if n == 0 {
+                    ' '
+                } else {
+                    BARS[(n * (BARS.len() as u64 - 1)).div_ceil(max) as usize]
+                }
+            },
+        )
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts_ns: u64, tid: u32, event: TraceEvent) -> TraceRecord {
+        TraceRecord { ts_ns, tid, event }
+    }
+
+    fn begin(ts: u64, tid: u32, name: &str) -> TraceRecord {
+        rec(ts, tid, TraceEvent::StageBegin { stage: name.to_string() })
+    }
+
+    fn end(ts: u64, tid: u32, name: &str) -> TraceRecord {
+        rec(ts, tid, TraceEvent::StageEnd { stage: name.to_string() })
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_zeros() {
+        let a = analyze(&[], &AnalyzeOptions::default());
+        assert_eq!(a.events, 0);
+        assert_eq!(a.wall_ns, 0);
+        assert!(a.stages.is_empty() && a.rates.is_empty());
+        assert_eq!(a.stalls, StallStats::default());
+        assert!(!a.render().is_empty(), "renders without panicking");
+    }
+
+    #[test]
+    fn balances_nested_and_sequential_stages() {
+        let records = vec![
+            begin(0, 0, "outer"),
+            begin(10, 0, "inner"),
+            end(40, 0, "inner"),
+            end(100, 0, "outer"),
+            begin(120, 0, "next"),
+            end(150, 0, "next"),
+        ];
+        let b = balance_stages(&records);
+        assert_eq!(b.orphan_ends, 0);
+        assert_eq!(b.unclosed_begins, 0);
+        assert_eq!(b.intervals.len(), 3);
+        let by_name = |n: &str| b.intervals.iter().find(|i| i.stage == n).unwrap();
+        assert_eq!((by_name("outer").start_ns, by_name("outer").end_ns), (0, 100));
+        assert_eq!((by_name("inner").start_ns, by_name("inner").end_ns), (10, 40));
+        assert_eq!((by_name("next").start_ns, by_name("next").end_ns), (120, 150));
+    }
+
+    #[test]
+    fn orphan_end_clamps_to_window_start() {
+        // The begin fell off the ring; the first surviving record is an
+        // instant at t=5.
+        let records = vec![rec(5, 0, TraceEvent::HookHit), end(50, 0, "lost-begin")];
+        let b = balance_stages(&records);
+        assert_eq!(b.orphan_ends, 1);
+        assert_eq!(b.intervals.len(), 1);
+        assert_eq!(b.intervals[0].start_ns, 5, "clamped to window start");
+        assert_eq!(b.intervals[0].end_ns, 50);
+        assert!(b.intervals[0].synthetic_begin);
+        let a = analyze(&records, &AnalyzeOptions::default());
+        assert_eq!(a.orphan_ends, 1);
+        assert_eq!(a.stages[0].synthetic, 1);
+    }
+
+    #[test]
+    fn unclosed_begin_clamps_to_window_end() {
+        let records =
+            vec![begin(10, 0, "never-ends"), rec(80, 0, TraceEvent::ChunkEmitted { bytes: 1 })];
+        let b = balance_stages(&records);
+        assert_eq!(b.unclosed_begins, 1);
+        assert_eq!(b.intervals[0].end_ns, 80, "clamped to window end");
+        assert!(b.intervals[0].synthetic_end);
+    }
+
+    #[test]
+    fn stalls_and_overlap_from_two_threads() {
+        // tid 0: [0,100]; tid 1: [50,150]; gap [150,200]; closing instant
+        // at 200 extends the window.
+        let records = vec![
+            begin(0, 0, "a"),
+            begin(50, 1, "b"),
+            end(100, 0, "a"),
+            end(150, 1, "b"),
+            rec(200, 0, TraceEvent::HookHit),
+        ];
+        let a = analyze(&records, &AnalyzeOptions::default());
+        assert_eq!(a.wall_ns, 200);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.overlap_ns, 50, "[50,100] has both stages open");
+        assert_eq!(a.stalls.count, 1);
+        assert_eq!(a.stalls.total_ns, 50);
+        assert_eq!(a.stalls.intervals, vec![(150, 200)]);
+        let t0 = &a.thread_utilization[0];
+        assert_eq!((t0.tid, t0.busy_ns), (0, 100));
+        assert!((t0.utilization - 0.5).abs() < 1e-9);
+        // Depth timeline: 1 open on [0,50] and [100,150], 2 on [50,100],
+        // 0 on [150,200].
+        assert_eq!(a.concurrency, vec![(0, 50), (1, 100), (2, 50)]);
+    }
+
+    #[test]
+    fn rates_bucket_point_events() {
+        let mut records = vec![begin(0, 0, "s"), end(1000, 0, "s")];
+        for ts in [0u64, 10, 20, 990] {
+            records.push(rec(ts, 0, TraceEvent::ChunkEmitted { bytes: 8 }));
+        }
+        records.push(rec(500, 0, TraceEvent::HookHit));
+        let a = analyze(&records, &AnalyzeOptions { rate_buckets: 10, ..Default::default() });
+        assert_eq!(a.bucket_ns, 100);
+        let chunks = a.rates.iter().find(|r| r.kind == "ChunkEmitted").unwrap();
+        assert_eq!(chunks.total, 4);
+        assert_eq!(chunks.per_bucket[0], 3);
+        assert_eq!(chunks.per_bucket[9], 1);
+        let hooks = a.rates.iter().find(|r| r.kind == "HookHit").unwrap();
+        assert_eq!(hooks.per_bucket[5], 1);
+        // Busiest kind first.
+        assert_eq!(a.rates[0].kind, "ChunkEmitted");
+    }
+
+    #[test]
+    fn union_segments_merges_overlaps() {
+        assert_eq!(union_segments(&[(0, 10), (5, 20), (30, 40)]), vec![(0, 20), (30, 40)]);
+        assert_eq!(union_segments(&[(0, 10), (10, 20)]), vec![(0, 20)]);
+        assert!(union_segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn render_covers_every_section() {
+        let records = vec![
+            begin(0, 0, "work"),
+            rec(10, 0, TraceEvent::ChunkEmitted { bytes: 4096 }),
+            end(100, 0, "work"),
+            end(150, 1, "orphan"),
+            rec(400, 0, TraceEvent::HookHit),
+        ];
+        let text = analyze(&records, &AnalyzeOptions::default()).render();
+        for needle in ["trace analysis", "truncation", "stage", "threads:", "stalls", "event rates"]
+        {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

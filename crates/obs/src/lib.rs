@@ -39,6 +39,12 @@
 //! collects the merged, time-sorted event list, exportable as JSONL
 //! ([`trace_to_jsonl`]) or Chrome `trace_event` JSON ([`trace_to_chrome`],
 //! loadable in `about:tracing` / [Perfetto](https://ui.perfetto.dev)).
+//! The [`analysis`] module derives per-stage wall time, thread
+//! utilization, stage overlap, stall intervals and event-rate timelines
+//! from a record stream (tolerating ring-truncated traces), and
+//! [`compare`] aligns two persisted [`Snapshot`]s into a cross-run
+//! regression report — the quantitative side of `mhd trace analyze` and
+//! `mhd compare`.
 //!
 //! # The `obs` feature — no-op-when-disabled guarantee
 //!
@@ -90,10 +96,13 @@ pub use scope::{enter_scopes, scope_labels, Scope};
 
 mod trace;
 pub use trace::{
-    stage, trace, trace_drain, trace_from_jsonl, trace_start, trace_stop, trace_to_chrome,
-    trace_to_jsonl, tracing, ExtendDir, TraceEvent, TraceRecord, TraceStage,
-    DEFAULT_TRACE_CAPACITY,
+    stage, trace, trace_buffer_count, trace_drain, trace_from_jsonl, trace_from_jsonl_lossy,
+    trace_start, trace_stop, trace_to_chrome, trace_to_jsonl, tracing, ExtendDir, TraceEvent,
+    TraceRecord, TraceStage, DEFAULT_TRACE_CAPACITY,
 };
+
+pub mod analysis;
+pub mod compare;
 
 /// Returns the [`Counter`] registered under a `&'static str` name, cached
 /// per call site (one `OnceLock` lookup ever; afterwards a plain static

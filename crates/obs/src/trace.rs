@@ -226,15 +226,30 @@ mod rt {
         static LOCAL: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
     }
 
+    /// Drops registry entries whose owning thread has exited: the
+    /// thread-local holds the second `Arc` reference, so a strong count
+    /// of 1 means the thread's TLS was torn down and nothing can record
+    /// into the ring again. Without this, churning worker threads (shard
+    /// fleets, pipeline producers) leak one ring buffer each for the
+    /// process lifetime. Callers hold the registry lock's critical
+    /// section briefly; a live thread always counts ≥ 2 and is kept.
+    fn prune_dead_threads(registry: &mut Vec<Arc<ThreadBuf>>) {
+        registry.retain(|buf| Arc::strong_count(buf) > 1);
+    }
+
     /// Arms tracing with the given per-thread ring capacity (clamped to
     /// ≥ 1; pass [`DEFAULT_TRACE_CAPACITY`] when in doubt), clearing any
-    /// events left from an earlier tracing window.
+    /// events left from an earlier tracing window and reclaiming ring
+    /// buffers of threads that have since exited.
     pub fn trace_start(capacity: usize) {
         let _ = epoch(); // pin the epoch before the first event
         CAPACITY.store(capacity.max(1), Ordering::Relaxed);
-        for buf in lock_ignore_poison(bufs()).iter() {
+        let mut registry = lock_ignore_poison(bufs());
+        prune_dead_threads(&mut registry);
+        for buf in registry.iter() {
             lock_ignore_poison(&buf.events).clear();
         }
+        drop(registry);
         TRACING.store(true, Ordering::Release);
     }
 
@@ -279,13 +294,26 @@ mod rt {
 
     /// Drains every thread's ring into one list sorted by timestamp
     /// (ties broken by thread id). Draining does not disarm tracing.
+    /// Rings of threads that have exited are drained one last time and
+    /// then pruned from the registry.
     pub fn trace_drain() -> Vec<TraceRecord> {
         let mut out = Vec::new();
-        for buf in lock_ignore_poison(bufs()).iter() {
+        let mut registry = lock_ignore_poison(bufs());
+        for buf in registry.iter() {
             out.extend(lock_ignore_poison(&buf.events).drain(..));
         }
+        prune_dead_threads(&mut registry);
+        drop(registry);
         out.sort_by_key(|r| (r.ts_ns, r.tid));
         out
+    }
+
+    /// Number of per-thread ring buffers currently registered (live
+    /// threads that have traced, plus exited threads not yet pruned by
+    /// [`trace_start`]/[`trace_drain`]). Observability for the pruning
+    /// itself; mostly useful in tests.
+    pub fn trace_buffer_count() -> usize {
+        lock_ignore_poison(bufs()).len()
     }
 
     /// RAII guard emitting a [`TraceEvent::StageBegin`] /
@@ -349,6 +377,12 @@ mod rt {
         Vec::new()
     }
 
+    /// Always 0 with the `obs` feature off.
+    #[inline]
+    pub fn trace_buffer_count() -> usize {
+        0
+    }
+
     /// No-op stand-in for the enabled `TraceStage`: zero-sized.
     #[must_use = "a TraceStage emits StageEnd on drop; binding it to `_` drops immediately"]
     #[derive(Debug)]
@@ -384,35 +418,73 @@ pub fn trace_from_jsonl(input: &str) -> Result<Vec<TraceRecord>, serde_json::Err
     input.lines().filter(|line| !line.trim().is_empty()).map(serde_json::from_str).collect()
 }
 
+/// Lenient variant of [`trace_from_jsonl`] for files that passed through
+/// editors, partial downloads or log interleaving: blank lines are
+/// skipped, unparseable lines are counted and dropped instead of failing
+/// the whole file. Returns the parsed records plus the number of lines
+/// skipped as garbage.
+pub fn trace_from_jsonl_lossy(input: &str) -> (Vec<TraceRecord>, u64) {
+    let mut records = Vec::new();
+    let mut skipped = 0u64;
+    for line in input.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str(line) {
+            Ok(record) => records.push(record),
+            Err(_) => skipped += 1,
+        }
+    }
+    (records, skipped)
+}
+
 /// Serializes records as Chrome `trace_event` JSON — the
 /// `{"traceEvents": [...]}` envelope `about:tracing` and Perfetto load.
 /// Stage pairs become `B`/`E` duration events named by the stage string;
 /// point events become thread-scoped instants (`ph: "i"`, `s: "t"`)
 /// named by [`TraceEvent::kind`] with their fields under `args`.
 /// Timestamps are microseconds (fractional — the format allows it).
+///
+/// Stage events are balanced before export (see
+/// [`crate::analysis::balance_stages`]): a `StageBegin` whose end was
+/// lost (guard dropped after `trace_stop`) gets a synthesized `E` at the
+/// window's last timestamp, and an orphan `StageEnd` whose begin fell off
+/// the recording ring is skipped — its reconstructed extent can cross
+/// surviving stages on the same thread, which would corrupt Perfetto's
+/// per-thread `B`/`E` nesting. Every emitted `B` therefore has exactly
+/// one matching `E` in stack order.
 pub fn trace_to_chrome(records: &[TraceRecord]) -> String {
-    let events: Vec<serde_json::Value> = records.iter().map(chrome_event).collect();
-    serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
-        .expect("chrome trace serialization cannot fail")
-}
-
-fn chrome_event(record: &TraceRecord) -> serde_json::Value {
     use serde_json::{Number, Value};
-    let (name, ph) = match &record.event {
-        TraceEvent::StageBegin { stage } => (stage.clone(), "B"),
-        TraceEvent::StageEnd { stage } => (stage.clone(), "E"),
-        other => (other.kind().to_string(), "i"),
-    };
-    let mut fields: Vec<(String, Value)> = vec![
-        ("name".to_string(), Value::String(name)),
-        ("ph".to_string(), Value::String(ph.to_string())),
-        ("ts".to_string(), Value::Number(Number::F64(record.ts_ns as f64 / 1000.0))),
-        ("pid".to_string(), Value::Number(Number::U64(1))),
-        ("tid".to_string(), Value::Number(Number::U64(record.tid as u64))),
-    ];
-    if ph == "i" {
-        fields.push(("s".to_string(), Value::String("t".to_string())));
+    let balanced = crate::analysis::balance_stages(records);
+    // Sort rank at equal timestamps: ends close before new begins open,
+    // instants land inside the enclosing stage. Secondary keys keep
+    // same-thread nesting valid: at a shared timestamp the innermost
+    // interval (latest start) ends first and the outermost (latest end)
+    // begins first.
+    let mut events: Vec<(u64, u8, u64, Value)> = Vec::with_capacity(records.len());
+    for interval in &balanced.intervals {
+        if interval.synthetic_begin {
+            continue; // orphan E: skipped, tallied by the analyzer
+        }
+        events.push((
+            interval.start_ns,
+            1,
+            u64::MAX - interval.end_ns,
+            chrome_stage(&interval.stage, "B", interval.start_ns, interval.tid),
+        ));
+        // A zero-length interval shares its rank with its own B so the
+        // stable sort keeps the pair in push order (B first).
+        let end_rank = if interval.end_ns == interval.start_ns { 1 } else { 0 };
+        events.push((
+            interval.end_ns,
+            end_rank,
+            u64::MAX - interval.start_ns,
+            chrome_stage(&interval.stage, "E", interval.end_ns, interval.tid),
+        ));
+    }
+    for record in records {
         let args: Vec<(String, Value)> = match &record.event {
+            TraceEvent::StageBegin { .. } | TraceEvent::StageEnd { .. } => continue,
             TraceEvent::ChunkEmitted { bytes } => {
                 vec![("bytes".to_string(), Value::Number(Number::U64(*bytes)))]
             }
@@ -435,11 +507,32 @@ fn chrome_event(record: &TraceRecord) -> serde_json::Value {
             TraceEvent::CacheEvict { dirty } => {
                 vec![("dirty".to_string(), Value::Bool(*dirty))]
             }
-            _ => Vec::new(),
+            TraceEvent::HookHit => Vec::new(),
         };
+        let mut fields = chrome_common(record.event.kind(), "i", record.ts_ns, record.tid);
+        fields.push(("s".to_string(), Value::String("t".to_string())));
         fields.push(("args".to_string(), Value::Object(args)));
+        events.push((record.ts_ns, 2, 0, Value::Object(fields)));
     }
-    Value::Object(fields)
+    events.sort_by_key(|a| (a.0, a.1, a.2));
+    let events: Vec<Value> = events.into_iter().map(|(_, _, _, v)| v).collect();
+    serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
+        .expect("chrome trace serialization cannot fail")
+}
+
+fn chrome_common(name: &str, ph: &str, ts_ns: u64, tid: u32) -> Vec<(String, serde_json::Value)> {
+    use serde_json::{Number, Value};
+    vec![
+        ("name".to_string(), Value::String(name.to_string())),
+        ("ph".to_string(), Value::String(ph.to_string())),
+        ("ts".to_string(), Value::Number(Number::F64(ts_ns as f64 / 1000.0))),
+        ("pid".to_string(), Value::Number(Number::U64(1))),
+        ("tid".to_string(), Value::Number(Number::U64(tid as u64))),
+    ]
+}
+
+fn chrome_stage(stage: &str, ph: &str, ts_ns: u64, tid: u32) -> serde_json::Value {
+    serde_json::Value::Object(chrome_common(stage, ph, ts_ns, tid))
 }
 
 #[cfg(test)]

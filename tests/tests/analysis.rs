@@ -1,0 +1,251 @@
+//! The trace analyzer end to end: pair balancing, stall/overlap
+//! accounting and lossy JSONL ingestion over hand-built traces, plus the
+//! runtime behaviours that need the real ring buffers — a capacity-2
+//! ring dropping a `StageBegin` inside an open stage (the Chrome-export
+//! regression), and pruning of ring buffers owned by exited threads.
+//!
+//! The analyzer itself ([`mhd_obs::analysis`]) is a pure function over
+//! `TraceRecord` slices, so those tests run as ordinary parallel
+//! `#[test]`s; everything touching the process-global trace rings stays
+//! in the single `trace_runtime_behaviour` test (same pattern as
+//! `observability.rs`).
+
+use mhd_obs::analysis::{analyze, balance_stages, AnalyzeOptions};
+use mhd_obs::{TraceEvent, TraceRecord};
+
+fn rec(ts_ns: u64, tid: u32, event: TraceEvent) -> TraceRecord {
+    TraceRecord { ts_ns, tid, event }
+}
+
+fn begin(ts_ns: u64, tid: u32, stage: &str) -> TraceRecord {
+    rec(ts_ns, tid, TraceEvent::StageBegin { stage: stage.to_string() })
+}
+
+fn end(ts_ns: u64, tid: u32, stage: &str) -> TraceRecord {
+    rec(ts_ns, tid, TraceEvent::StageEnd { stage: stage.to_string() })
+}
+
+/// Counts Chrome `trace_event` phases in a `trace_to_chrome` export.
+fn chrome_phases(chrome: &str) -> (u64, u64) {
+    let doc: serde_json::Value = serde_json::from_str(chrome).expect("chrome export parses");
+    let serde_json::Value::Object(top) = &doc else { panic!("chrome export must be an object") };
+    let (_, events) = top.iter().find(|(k, _)| k == "traceEvents").expect("traceEvents key");
+    let serde_json::Value::Array(events) = events else { panic!("traceEvents must be an array") };
+    let mut begins = 0u64;
+    let mut ends = 0u64;
+    for event in events {
+        let serde_json::Value::Object(fields) = event else { panic!("event must be an object") };
+        let ph = fields.iter().find(|(k, _)| k == "ph").map(|(_, v)| v).expect("ph field");
+        let serde_json::Value::String(ph) = ph else { panic!("ph not a string") };
+        match ph.as_str() {
+            "B" => begins += 1,
+            "E" => ends += 1,
+            _ => {}
+        }
+    }
+    (begins, ends)
+}
+
+#[test]
+fn empty_trace_analyzes_to_zeroes() {
+    let analysis = analyze(&[], &AnalyzeOptions::default());
+    assert_eq!(analysis.events, 0);
+    assert_eq!(analysis.wall_ns, 0);
+    assert_eq!(analysis.threads, 0);
+    assert!(analysis.stages.is_empty());
+    assert!(analysis.thread_utilization.is_empty());
+    assert_eq!(analysis.stalls.count, 0);
+    assert_eq!(analysis.orphan_ends, 0);
+    assert_eq!(analysis.unclosed_begins, 0);
+    // The text report renders without panicking on the degenerate case.
+    assert!(analysis.render().contains("events"));
+}
+
+#[test]
+fn single_thread_sequential_stages_account_time_and_stalls() {
+    // [0,100] chunking, gap, [150,250] dedup — all on one thread.
+    let records = vec![
+        begin(0, 0, "chunking"),
+        end(100, 0, "chunking"),
+        begin(150, 0, "dedup"),
+        end(250, 0, "dedup"),
+    ];
+    let analysis = analyze(&records, &AnalyzeOptions::default());
+    assert_eq!(analysis.events, 4);
+    assert_eq!(analysis.threads, 1);
+    assert_eq!(analysis.wall_ns, 250);
+    assert_eq!(analysis.orphan_ends, 0);
+    assert_eq!(analysis.unclosed_begins, 0);
+
+    let stage = |name: &str| analysis.stages.iter().find(|s| s.stage == name).expect("stage");
+    assert_eq!(stage("chunking").total_ns, 100);
+    assert_eq!(stage("chunking").count, 1);
+    assert_eq!(stage("dedup").total_ns, 100);
+
+    // One stall: the [100,150] gap where no stage was open.
+    assert_eq!(analysis.stalls.count, 1);
+    assert_eq!(analysis.stalls.total_ns, 50);
+    assert_eq!(analysis.stalls.longest_ns, 50);
+    assert_eq!(analysis.stalls.intervals, vec![(100, 150)]);
+
+    // No second thread, so nothing can overlap.
+    assert_eq!(analysis.overlap_ns, 0);
+
+    // The single thread was busy 200 of 250 ns.
+    assert_eq!(analysis.thread_utilization.len(), 1);
+    let t0 = &analysis.thread_utilization[0];
+    assert_eq!(t0.busy_ns, 200);
+    assert!((t0.utilization - 0.8).abs() < 1e-9);
+}
+
+#[test]
+fn interleaved_multi_thread_stages_overlap() {
+    // Thread 0 works [0,200], thread 1 works [100,300]: they overlap on
+    // [100,200], and the union [0,300] covers the window — no stalls.
+    let records = vec![
+        begin(0, 0, "hashing"),
+        begin(100, 1, "dedup"),
+        end(200, 0, "hashing"),
+        end(300, 1, "dedup"),
+    ];
+    let analysis = analyze(&records, &AnalyzeOptions::default());
+    assert_eq!(analysis.threads, 2);
+    assert_eq!(analysis.wall_ns, 300);
+    assert_eq!(analysis.overlap_ns, 100, "the two stages overlap on [100,200]");
+    assert_eq!(analysis.stalls.count, 0);
+    assert_eq!(analysis.stalls.total_ns, 0);
+
+    // Concurrency sweep: depth 1 for [0,100] and [200,300], depth 2 for
+    // [100,200].
+    let depth =
+        |d: u64| analysis.concurrency.iter().find(|(k, _)| *k == d).map(|(_, ns)| *ns).unwrap_or(0);
+    assert_eq!(depth(1), 200);
+    assert_eq!(depth(2), 100);
+
+    let util = |tid: u32| {
+        analysis.thread_utilization.iter().find(|t| t.tid == tid).expect("per-thread row")
+    };
+    assert_eq!(util(0).busy_ns, 200);
+    assert_eq!(util(1).busy_ns, 200);
+    assert_eq!(util(0).stages, 1);
+}
+
+#[test]
+fn truncated_traces_balance_instead_of_panicking() {
+    // An orphan StageEnd (its begin fell off the ring) and an unclosed
+    // StageBegin (guard alive past trace_stop) in one trace.
+    let records = vec![
+        end(50, 0, "lost-begin"),
+        begin(100, 1, "never-ends"),
+        rec(150, 1, TraceEvent::HookHit),
+    ];
+    let balanced = balance_stages(&records);
+    assert_eq!(balanced.orphan_ends, 1);
+    assert_eq!(balanced.unclosed_begins, 1);
+    assert_eq!(balanced.intervals.len(), 2);
+    let orphan = balanced.intervals.iter().find(|i| i.stage == "lost-begin").unwrap();
+    assert!(orphan.synthetic_begin && !orphan.synthetic_end);
+    assert_eq!((orphan.start_ns, orphan.end_ns), (50, 50), "clamped to the window start");
+    let unclosed = balanced.intervals.iter().find(|i| i.stage == "never-ends").unwrap();
+    assert!(!unclosed.synthetic_begin && unclosed.synthetic_end);
+    assert_eq!((unclosed.start_ns, unclosed.end_ns), (100, 150), "closed at the window end");
+
+    let analysis = analyze(&records, &AnalyzeOptions::default());
+    assert_eq!(analysis.orphan_ends, 1);
+    assert_eq!(analysis.unclosed_begins, 1);
+    assert!(analysis.render().contains("truncation"));
+
+    // The Chrome export must stay balanced despite both defects.
+    let (begins, ends) = chrome_phases(&mhd_obs::trace_to_chrome(&records));
+    assert_eq!(begins, ends, "chrome export must pair every B with an E");
+    assert_eq!(begins, 1, "the orphan end is skipped, the unclosed begin synthesized");
+}
+
+#[test]
+fn lossy_jsonl_skips_garbage_and_blank_lines() {
+    let good = vec![begin(10, 0, "s"), rec(20, 0, TraceEvent::ChunkEmitted { bytes: 7 })];
+    let mut input = mhd_obs::trace_to_jsonl(&good);
+    input.push_str("\n\nnot json at all\n{\"ts_ns\":1}\n");
+    input.push_str(&mhd_obs::trace_to_jsonl(&[end(30, 0, "s")]));
+    let (records, skipped) = mhd_obs::trace_from_jsonl_lossy(&input);
+    assert_eq!(records.len(), 3, "the three valid lines survive");
+    assert_eq!(skipped, 2, "garbage and truncated-object lines are counted");
+    assert_eq!(records[2], end(30, 0, "s"));
+
+    // Strict parsing refuses the same input; lossy is the recovery path.
+    assert!(mhd_obs::trace_from_jsonl(&input).is_err());
+
+    // And the recovered records analyze cleanly.
+    let analysis = analyze(&records, &AnalyzeOptions::default());
+    assert_eq!(analysis.events, 3);
+    assert_eq!(analysis.stages.len(), 1);
+    assert_eq!(analysis.stages[0].total_ns, 20);
+}
+
+#[test]
+fn rate_buckets_honour_options() {
+    let records: Vec<TraceRecord> = (0..40).map(|i| rec(i * 10, 0, TraceEvent::HookHit)).collect();
+    let opts = AnalyzeOptions { rate_buckets: 4, ..AnalyzeOptions::default() };
+    let analysis = analyze(&records, &opts);
+    let hook = analysis.rates.iter().find(|r| r.kind == "HookHit").expect("HookHit rate");
+    assert_eq!(hook.total, 40);
+    assert_eq!(hook.per_bucket.len(), 4);
+    assert_eq!(hook.per_bucket.iter().sum::<u64>(), 40);
+}
+
+/// Runtime phases share the process-global trace rings, so they run in
+/// one test, in order.
+#[test]
+fn trace_runtime_behaviour() {
+    // ---- Phase 1: a capacity-2 ring drops the StageBegin of an open
+    // stage; the drained trace must still export balanced Chrome JSON
+    // (this corrupted Perfetto renders before pair balancing). ----
+    mhd_obs::trace_start(2);
+    {
+        let _stage = mhd_obs::stage("squeezed");
+        for _ in 0..3 {
+            mhd_obs::trace(TraceEvent::HookHit);
+        }
+        // Ring now holds two HookHits; the StageBegin has been dropped.
+    }
+    mhd_obs::trace_stop();
+    let records = mhd_obs::trace_drain();
+    assert!(
+        records.iter().any(|r| matches!(r.event, TraceEvent::StageEnd { .. })),
+        "the StageEnd survives the ring"
+    );
+    assert!(
+        !records.iter().any(|r| matches!(r.event, TraceEvent::StageBegin { .. })),
+        "the StageBegin must have been evicted for this regression test to bite"
+    );
+    let (begins, ends) = chrome_phases(&mhd_obs::trace_to_chrome(&records));
+    assert_eq!(begins, ends, "orphan StageEnd must not unbalance the Chrome export");
+    let analysis = analyze(&records, &AnalyzeOptions::default());
+    assert_eq!(analysis.orphan_ends, 1, "the analyzer reports the truncation");
+
+    // ---- Phase 2: ring buffers of exited threads are pruned. ----
+    mhd_obs::trace_start(mhd_obs::DEFAULT_TRACE_CAPACITY);
+    mhd_obs::trace(TraceEvent::HookHit); // ensure this thread owns a ring
+    let before = mhd_obs::trace_buffer_count();
+    std::thread::spawn(|| {
+        mhd_obs::trace(TraceEvent::ChunkEmitted { bytes: 1 });
+    })
+    .join()
+    .unwrap();
+    assert_eq!(
+        mhd_obs::trace_buffer_count(),
+        before + 1,
+        "the dead thread's ring lingers until the next drain or trace_start"
+    );
+    let records = mhd_obs::trace_drain();
+    assert!(
+        records.iter().any(|r| matches!(r.event, TraceEvent::ChunkEmitted { bytes: 1 })),
+        "the dead thread's events are drained before its ring is pruned"
+    );
+    assert_eq!(
+        mhd_obs::trace_buffer_count(),
+        before,
+        "draining prunes rings whose owning thread has exited"
+    );
+    mhd_obs::trace_stop();
+}
