@@ -12,9 +12,13 @@
 #   4. analysis  — `mhd compare` finds zero regressions across two
 #      same-seed runs (and flags differing runs), and `mhd trace analyze`
 #      digests a bench-produced trace
-#   5. rustfmt   — style, enforced via rustfmt.toml
-#   6. clippy    — all targets, warnings are errors
-#   7. rustdoc   — every public item documented, no broken links
+#   5. lint      — mhd-lint invariant passes (ratcheted against
+#      lint-baseline.json) + exhaustive model checking of the flush and
+#      trace-ring protocols, plus both seeded-bug mutants as negative
+#      tests of the checker itself
+#   6. rustfmt   — style, enforced via rustfmt.toml
+#   7. clippy    — all targets, warnings are errors
+#   8. rustdoc   — every public item documented, no broken links
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -73,6 +77,13 @@ cargo build --workspace --no-default-features
 # it out, so their torn-write/recovery tests cover the obs-off config.
 step "feature matrix: crash-safety tests with obs compiled out"
 cargo test -q -p mhd-store -p mhd-core
+
+step "lint: mhd-lint invariant passes + model checking"
+./target/release/mhd-lint --baseline lint-baseline.json
+# The checker must still catch the seeded historical bugs — a checker
+# that stops finding them is itself broken.
+./target/release/mhd-lint --mutant flush-order > /dev/null
+./target/release/mhd-lint --mutant ring-prune > /dev/null
 
 step "cargo fmt --check"
 cargo fmt --check

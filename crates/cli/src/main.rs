@@ -19,6 +19,9 @@
 //! manifest sizes) persists next to the store and is reloaded on every
 //! invocation.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 

@@ -1,0 +1,185 @@
+//! Findings and the baseline ratchet.
+//!
+//! The baseline (`lint-baseline.json`) records, per `(pass, file)` pair,
+//! how many findings were known when the baseline was last written. A run
+//! fails only on findings *beyond* those counts — so pre-existing debt is
+//! tracked without blocking CI, new debt is rejected, and burning debt
+//! down never requires touching the baseline (counts may only shrink; use
+//! `--write-baseline` to record the progress).
+
+use std::collections::BTreeMap;
+
+use serde_json::{Number, Value};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Pass identifier (e.g. `L1-no-panic`).
+    pub pass: &'static str,
+    /// Workspace-relative file (or model name for checker findings).
+    pub file: String,
+    /// 1-based line, 0 when the finding is not line-anchored.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Baseline counts keyed by `(pass, file)`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+/// Outcome of ratcheting findings against a baseline: `new` must be empty
+/// for the run to pass; `baselined` are reported but tolerated.
+#[derive(Debug)]
+pub struct Ratchet {
+    /// Findings beyond the baselined count for their `(pass, file)` group.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by the baseline.
+    pub baselined: Vec<Finding>,
+}
+
+impl Baseline {
+    /// Parses the JSON baseline format produced by [`Baseline::to_json`].
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| format!("baseline is not JSON: {e}"))?;
+        let Value::Object(top) = value else {
+            return Err("baseline root must be an object".into());
+        };
+        let entries = top
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .map(|(_, v)| v)
+            .ok_or("baseline has no \"entries\" array")?;
+        let Value::Array(items) = entries else {
+            return Err("baseline \"entries\" must be an array".into());
+        };
+        let mut counts = BTreeMap::new();
+        for item in items {
+            let Value::Object(fields) = item else {
+                return Err("baseline entry must be an object".into());
+            };
+            let get_str = |name: &str| {
+                fields.iter().find(|(k, _)| k == name).and_then(|(_, v)| match v {
+                    Value::String(s) => Some(s.clone()),
+                    _ => None,
+                })
+            };
+            let count = fields.iter().find(|(k, _)| k == "count").and_then(|(_, v)| match v {
+                Value::Number(Number::U64(n)) => Some(*n as usize),
+                _ => None,
+            });
+            match (get_str("pass"), get_str("file"), count) {
+                (Some(p), Some(f), Some(c)) => {
+                    counts.insert((p, f), c);
+                }
+                _ => return Err("baseline entry needs pass/file/count".into()),
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Builds a baseline that exactly absorbs `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.pass.to_string(), f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Serializes to the on-disk JSON format (sorted, diff-friendly).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Value> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|((pass, file), &count)| {
+                Value::Object(vec![
+                    ("pass".into(), Value::String(pass.clone())),
+                    ("file".into(), Value::String(file.clone())),
+                    ("count".into(), Value::Number(Number::U64(count as u64))),
+                ])
+            })
+            .collect();
+        let top = Value::Object(vec![
+            ("version".into(), Value::Number(Number::U64(1))),
+            ("entries".into(), Value::Array(entries)),
+        ]);
+        let mut text = serde_json::to_string_pretty(&top).expect("baseline Value serializes");
+        text.push('\n');
+        text
+    }
+
+    /// Splits `findings` into new vs. baselined. Within one `(pass, file)`
+    /// group the *first* `count` findings (file order) are absorbed; the
+    /// linter is deterministic, so this keeps attribution stable.
+    pub fn ratchet(&self, findings: Vec<Finding>) -> Ratchet {
+        let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut result = Ratchet { new: Vec::new(), baselined: Vec::new() };
+        for f in findings {
+            let key = (f.pass.to_string(), f.file.clone());
+            let budget = self.counts.get(&key).copied().unwrap_or(0);
+            let used_so_far = used.entry(key).or_insert(0);
+            if *used_so_far < budget {
+                *used_so_far += 1;
+                result.baselined.push(f);
+            } else {
+                result.new.push(f);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: &'static str, file: &str, line: u32) -> Finding {
+        Finding { pass, file: file.into(), line, message: format!("at {line}") }
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let b = Baseline::from_findings(&[
+            finding("L1-no-panic", "a.rs", 1),
+            finding("L1-no-panic", "a.rs", 9),
+            finding("L4-obs-labels", "b.rs", 3),
+        ]);
+        let json = b.to_json();
+        let back = Baseline::from_json(&json).unwrap();
+        assert_eq!(back.counts, b.counts);
+    }
+
+    #[test]
+    fn ratchet_absorbs_up_to_count_and_flags_the_rest() {
+        let b = Baseline::from_findings(&[finding("L1-no-panic", "a.rs", 1)]);
+        let r = b.ratchet(vec![
+            finding("L1-no-panic", "a.rs", 1),
+            finding("L1-no-panic", "a.rs", 2),
+            finding("L1-no-panic", "c.rs", 3),
+        ]);
+        assert_eq!(r.baselined.len(), 1);
+        assert_eq!(r.new.len(), 2);
+    }
+
+    #[test]
+    fn burn_down_needs_no_baseline_edit() {
+        let b = Baseline::from_findings(&[
+            finding("L1-no-panic", "a.rs", 1),
+            finding("L1-no-panic", "a.rs", 2),
+        ]);
+        let r = b.ratchet(vec![finding("L1-no-panic", "a.rs", 1)]);
+        assert!(r.new.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(Baseline::from_json("[]").is_err());
+        assert!(Baseline::from_json("{\"entries\": 3}").is_err());
+        assert!(Baseline::from_json("{\"entries\": [{\"pass\": \"x\"}]}").is_err());
+    }
+}

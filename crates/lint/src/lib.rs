@@ -1,0 +1,41 @@
+//! `mhd-lint`: workspace invariant linter + deterministic concurrency
+//! model checker.
+//!
+//! The workspace maintains invariants the Rust compiler cannot check:
+//!
+//! * **L1** — no `unwrap`/`expect`/`panic!` on durability paths (the
+//!   store, the CLI, and the core I/O modules): a panic mid-commit
+//!   strands a half-written store;
+//! * **L2** — backend mutations go through the tmp+rename commit helpers,
+//!   and `FileKind::FLUSH_ORDER` stays a reference-respecting
+//!   topological order that the batched backend actually uses;
+//! * **L3** — DiskChunks and Hooks are immutable outside GC/compaction
+//!   (the paper's core invariant: HHR rewrites only Manifests);
+//! * **L4** — observability labels come from the registered vocabularies
+//!   (`SCOPE_LABEL_KEYS`, `STAGE_NAME_PREFIXES`), so traces aggregate;
+//! * **L5** — crate roots warn on missing docs, and only binary crates
+//!   may force the `obs` cargo feature;
+//! * **L6** — crates without `unsafe` forbid it at the root.
+//!
+//! The passes run over a dependency-free in-tree lexer ([`lexer`]); the
+//! concurrency side ([`mck`], [`models`]) exhaustively explores the
+//! batched flush-barrier protocol and the trace-ring prune protocol over
+//! every interleaving, treating every reachable state as a crash point.
+//! Findings ratchet against `lint-baseline.json` ([`findings`]): known
+//! debt is tolerated, new debt fails CI, burn-down is free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod findings;
+pub mod lexer;
+pub mod mck;
+pub mod models;
+pub mod passes;
+pub mod source;
+
+pub use findings::{Baseline, Finding, Ratchet};
+pub use mck::{check, CheckResult, Model, Violation};
+pub use models::{FlushModel, RingModel};
+pub use passes::{run_passes, Workspace};
+pub use source::SourceFile;

@@ -1,0 +1,266 @@
+//! CLI driver for the workspace linter and model checker.
+//!
+//! ```text
+//! mhd-lint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]
+//!          [--skip-mck] [--mck-only] [--max-states N]
+//!          [--mutant flush-order|ring-prune]
+//! ```
+//!
+//! Exit codes: `0` clean (or all findings baselined), `1` new findings /
+//! model-checker violation / truncated exploration, `2` usage error.
+//!
+//! `--mutant` inverts the contract: it seeds a historical bug into the
+//! named model and exits `0` only if the checker *catches* it — CI runs
+//! both mutants so the checker can never silently degrade into a rubber
+//! stamp.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mhd_lint::mck::{check, CheckResult};
+use mhd_lint::models::{FlushModel, RingModel};
+use mhd_lint::{Baseline, Finding, Workspace};
+use serde_json::{Number, Value};
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    skip_mck: bool,
+    mck_only: bool,
+    max_states: usize,
+    mutant: Option<String>,
+}
+
+/// `println!` that survives a closed stdout (`mhd-lint | head` must not
+/// panic on EPIPE — the exit code is the contract, the text is advisory).
+macro_rules! out {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mhd-lint [--root DIR] [--json] [--baseline FILE] \
+         [--write-baseline FILE] [--skip-mck] [--mck-only] [--max-states N] \
+         [--mutant flush-order|ring-prune]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        baseline: None,
+        write_baseline: None,
+        skip_mck: false,
+        mck_only: false,
+        max_states: 5_000_000,
+        mutant: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| {
+                eprintln!("mhd-lint: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--json" => opts.json = true,
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
+            }
+            "--skip-mck" => opts.skip_mck = true,
+            "--mck-only" => opts.mck_only = true,
+            "--max-states" => {
+                opts.max_states = value("--max-states")?.parse().map_err(|_| {
+                    eprintln!("mhd-lint: --max-states needs an integer");
+                    usage()
+                })?
+            }
+            "--mutant" => opts.mutant = Some(value("--mutant")?),
+            _ => {
+                eprintln!("mhd-lint: unknown flag {arg}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    if let Some(mutant) = &opts.mutant {
+        return run_mutant(mutant, opts.max_states);
+    }
+
+    // Static passes.
+    let mut findings = Vec::new();
+    if !opts.mck_only {
+        let ws = match Workspace::load(&opts.root) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!("mhd-lint: cannot load workspace at {}: {e}", opts.root.display());
+                return ExitCode::from(2);
+            }
+        };
+        findings = mhd_lint::run_passes(&ws);
+    }
+
+    // Model checking: the shipped protocols, exhaustively.
+    let mut mck_results: Vec<(&str, CheckResult)> = Vec::new();
+    if !opts.skip_mck {
+        mck_results.push(("flush-order", check(&FlushModel::shipped(), opts.max_states)));
+        mck_results.push(("ring-prune", check(&RingModel::shipped(), opts.max_states)));
+        for (name, result) in &mck_results {
+            if let Some(v) = &result.violation {
+                findings.push(Finding {
+                    pass: "MCK",
+                    file: format!("model:{name}"),
+                    line: 0,
+                    message: format!("{} [schedule {:?}]", v.message, v.schedule),
+                });
+            } else if result.truncated {
+                findings.push(Finding {
+                    pass: "MCK",
+                    file: format!("model:{name}"),
+                    line: 0,
+                    message: format!(
+                        "exploration truncated at {} states; raise --max-states",
+                        result.states
+                    ),
+                });
+            }
+        }
+    }
+
+    if let Some(path) = &opts.write_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(path, baseline.to_json()) {
+            eprintln!("mhd-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("mhd-lint: wrote baseline covering {} finding(s)", findings.len());
+    }
+
+    let baseline = match &opts.baseline {
+        None => Baseline::default(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match Baseline::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("mhd-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("mhd-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let ratchet = baseline.ratchet(findings);
+
+    if opts.json {
+        out!("{}", report_json(&ratchet.new, &ratchet.baselined, &mck_results));
+    } else {
+        for f in &ratchet.new {
+            out!("{}:{}: [{}] {}", f.file, f.line, f.pass, f.message);
+        }
+        for (name, result) in &mck_results {
+            out!(
+                "model {name}: {} states explored{}",
+                result.states,
+                if result.passed() { ", no violations" } else { "" }
+            );
+        }
+        out!(
+            "mhd-lint: {} new finding(s), {} baselined",
+            ratchet.new.len(),
+            ratchet.baselined.len()
+        );
+    }
+    if ratchet.new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Runs a seeded-bug model and succeeds only when the checker catches it.
+fn run_mutant(name: &str, max_states: usize) -> ExitCode {
+    let result = match name {
+        "flush-order" => check(&FlushModel::mutant_flush_order(), max_states),
+        "ring-prune" => check(&RingModel::mutant_ring_prune(), max_states),
+        _ => {
+            eprintln!("mhd-lint: unknown mutant {name:?} (flush-order, ring-prune)");
+            return ExitCode::from(2);
+        }
+    };
+    match result.violation {
+        Some(v) => {
+            out!(
+                "mutant {name}: caught as intended after {} states\n  {}\n  schedule: {:?}",
+                result.states,
+                v.message,
+                v.schedule
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "mutant {name}: NOT caught ({} states, truncated: {}) — \
+                 the model checker has lost its teeth",
+                result.states, result.truncated
+            );
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn finding_value(f: &Finding, baselined: bool) -> Value {
+    Value::Object(vec![
+        ("pass".into(), Value::String(f.pass.to_string())),
+        ("file".into(), Value::String(f.file.clone())),
+        ("line".into(), Value::Number(Number::U64(f.line as u64))),
+        ("message".into(), Value::String(f.message.clone())),
+        ("baselined".into(), Value::Bool(baselined)),
+    ])
+}
+
+fn report_json(new: &[Finding], baselined: &[Finding], mck: &[(&str, CheckResult)]) -> String {
+    let mut findings: Vec<Value> = new.iter().map(|f| finding_value(f, false)).collect();
+    findings.extend(baselined.iter().map(|f| finding_value(f, true)));
+    let models: Vec<Value> = mck
+        .iter()
+        .map(|(name, r)| {
+            Value::Object(vec![
+                ("model".into(), Value::String(name.to_string())),
+                ("states".into(), Value::Number(Number::U64(r.states as u64))),
+                ("truncated".into(), Value::Bool(r.truncated)),
+                ("passed".into(), Value::Bool(r.passed())),
+            ])
+        })
+        .collect();
+    let top = Value::Object(vec![
+        ("new".into(), Value::Number(Number::U64(new.len() as u64))),
+        ("baselined".into(), Value::Number(Number::U64(baselined.len() as u64))),
+        ("findings".into(), Value::Array(findings)),
+        ("models".into(), Value::Array(models)),
+    ]);
+    serde_json::to_string_pretty(&top).expect("report Value serializes")
+}

@@ -1,0 +1,665 @@
+//! The static invariant passes (L1–L6) and the workspace loader.
+//!
+//! Each pass is a token-pattern scan over [`SourceFile`] streams — no type
+//! information, which is exactly the point: these invariants are *layout*
+//! and *discipline* rules the compiler cannot see (panics on durability
+//! paths, raw filesystem calls bypassing the commit helpers, mutations of
+//! immutable object kinds, unregistered observability labels), and a
+//! token-level scan keeps them checkable in milliseconds on every CI run
+//! with zero external dependencies.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::findings::Finding;
+use crate::source::{matching_close, SourceFile, ALLOW_NAMES};
+
+/// Fallback scope-label keys, kept in sync with
+/// `mhd_obs::SCOPE_LABEL_KEYS`; the real registry is re-parsed from the
+/// obs source when present so the two cannot drift silently.
+pub const DEFAULT_SCOPE_KEYS: &[&str] = &["cmd", "engine", "fleet", "io", "run", "shard", "t"];
+
+/// Fallback stage-name prefixes, mirroring `mhd_obs::STAGE_NAME_PREFIXES`.
+pub const DEFAULT_STAGE_PREFIXES: &[&str] = &["backup", "engine", "io", "pipeline", "shard"];
+
+/// A loaded workspace: every lintable source file plus crate manifests.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Root the relative paths hang off.
+    pub root: PathBuf,
+    /// Parsed `.rs` files.
+    pub files: Vec<SourceFile>,
+    /// `(relative path, text)` of each crate-level `Cargo.toml`.
+    pub manifests: Vec<(String, String)>,
+}
+
+/// Directory names never descended into. `fixtures` holds the linter's
+/// own deliberately-broken test workspaces; `shims` are vendored stand-in
+/// facades that follow upstream idiom, not workspace rules.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "shims", "node_modules"];
+
+impl Workspace {
+    /// Recursively loads every `.rs` file and `Cargo.toml` under `root`,
+    /// skipping `target`, `.git`, `fixtures`, `shims`, `node_modules`
+    /// and dot-directories. Files are sorted by path so every run (and
+    /// therefore the baseline ratchet's attribution) is deterministic.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let mut manifests = Vec::new();
+        let mut stack = vec![root.to_path_buf()];
+        let mut rs_paths = Vec::new();
+        while let Some(dir) = stack.pop() {
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if path.is_dir() {
+                    if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                        stack.push(path);
+                    }
+                } else if name == "Cargo.toml" {
+                    manifests.push((rel_of(root, &path), fs::read_to_string(&path)?));
+                } else if name.ends_with(".rs") {
+                    rs_paths.push(path);
+                }
+            }
+        }
+        rs_paths.sort();
+        manifests.sort_by(|a, b| a.0.cmp(&b.0));
+        for path in rs_paths {
+            let rel = rel_of(root, &path);
+            files.push(SourceFile::parse(&rel, &fs::read_to_string(&path)?));
+        }
+        Ok(Workspace { root: root.to_path_buf(), files, manifests })
+    }
+
+    fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs every pass over the workspace and returns findings in a stable
+/// order (pass, then file, then line).
+pub fn run_passes(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    pass_allow_directives(ws, &mut findings);
+    pass_l1_no_panic(ws, &mut findings);
+    pass_l2_commit_path(ws, &mut findings);
+    pass_l2_flush_order(ws, &mut findings);
+    pass_l3_immutability(ws, &mut findings);
+    pass_l4_obs_labels(ws, &mut findings);
+    pass_l5_missing_docs(ws, &mut findings);
+    pass_l5_obs_gating(ws, &mut findings);
+    pass_l6_forbid_unsafe(ws, &mut findings);
+    findings.sort_by(|a, b| (a.pass, &a.file, a.line).cmp(&(b.pass, &b.file, b.line)));
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Directive hygiene
+// ---------------------------------------------------------------------
+
+/// Every allow directive must name a known pass and carry a reason — the
+/// reason is what a reviewer audits instead of the exempted code.
+fn pass_allow_directives(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        for a in &file.allows {
+            if !ALLOW_NAMES.contains(&a.name.as_str()) {
+                out.push(Finding {
+                    pass: "allow-directive",
+                    file: file.rel.clone(),
+                    line: a.line,
+                    message: format!(
+                        "unknown allow name `{}` (known: {})",
+                        a.name,
+                        ALLOW_NAMES.join(", ")
+                    ),
+                });
+            } else if !a.has_reason {
+                out.push(Finding {
+                    pass: "allow-directive",
+                    file: file.rel.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) needs a reason: `// lint: allow({}): why this is safe`",
+                        a.name, a.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L1: no unwrap/expect/panic on durability paths
+// ---------------------------------------------------------------------
+
+/// Files on which a panic can strand a partially-committed store: the
+/// whole store crate, the CLI (user-facing I/O), and the core modules
+/// that drive engine I/O and recovery.
+fn l1_restricted(rel: &str) -> bool {
+    rel.starts_with("crates/store/src/")
+        || rel.starts_with("crates/cli/src/")
+        || matches!(
+            rel,
+            "crates/core/src/pipeline.rs"
+                | "crates/core/src/shard.rs"
+                | "crates/core/src/fsck.rs"
+                | "crates/core/src/mhd.rs"
+        )
+}
+
+fn pass_l1_no_panic(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in ws.files.iter().filter(|f| l1_restricted(&f.rel)) {
+        for (i, tok) in file.toks.iter().enumerate() {
+            if file.test_mask[i] {
+                continue;
+            }
+            let method_call = |name: &str| {
+                tok.is_ident(name)
+                    && i > 0
+                    && file.toks[i - 1].is_punct('.')
+                    && file.toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false)
+            };
+            let offense = if method_call("unwrap") || method_call("expect") {
+                Some(format!(".{}() can panic", tok.text))
+            } else if tok.is_ident("panic")
+                && file.toks.get(i + 1).map(|t| t.is_punct('!')).unwrap_or(false)
+            {
+                Some("panic! aborts a durability path".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = offense {
+                if !file.is_allowed(tok.line, "unwrap") {
+                    out.push(Finding {
+                        pass: "L1-no-panic",
+                        file: file.rel.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "{what}; return StoreError (or `// lint: allow(unwrap): reason`)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2a: raw filesystem mutation must go through the commit helpers
+// ---------------------------------------------------------------------
+
+const RAW_FS_OPS: &[&str] =
+    &["write", "rename", "remove_file", "remove_dir_all", "create", "create_dir_all", "set_len"];
+
+/// In the store crate, only `backend.rs` owns the tmp+rename+intent commit
+/// sequence; raw `std::fs` mutation anywhere else bypasses crash safety.
+fn pass_l2_commit_path(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in ws.files.iter().filter(|f| {
+        f.rel.starts_with("crates/store/src/") && f.rel != "crates/store/src/backend.rs"
+    }) {
+        for (i, tok) in file.toks.iter().enumerate() {
+            if file.test_mask[i] {
+                continue;
+            }
+            let qualified_by = |name: &str| {
+                i >= 3
+                    && file.toks[i - 1].is_punct(':')
+                    && file.toks[i - 2].is_punct(':')
+                    && file.toks[i - 3].is_ident(name)
+            };
+            if tok.kind == crate::lexer::TokKind::Ident
+                && RAW_FS_OPS.contains(&tok.text.as_str())
+                && (qualified_by("fs") || qualified_by("File"))
+                && !file.is_allowed(tok.line, "raw-fs")
+            {
+                out.push(Finding {
+                    pass: "L2-commit-path",
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "raw fs::{} bypasses the tmp+rename commit helpers in backend.rs",
+                        tok.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2b: FLUSH_ORDER cross-file consistency
+// ---------------------------------------------------------------------
+
+/// Reference edges between object kinds: `(referrer, referee)` — the
+/// referee must flush strictly before the referrer so a crash between any
+/// two writes leaves no dangling reference.
+pub const REF_EDGES: &[(&str, &str)] =
+    &[("Manifest", "DiskChunk"), ("Hook", "Manifest"), ("FileManifest", "DiskChunk")];
+
+fn pass_l2_flush_order(ws: &Workspace, out: &mut Vec<Finding>) {
+    let rel = "crates/store/src/backend.rs";
+    let Some(backend) = ws.file(rel) else { return };
+    let push = |out: &mut Vec<Finding>, line: u32, message: String| {
+        out.push(Finding { pass: "L2-flush-order", file: rel.to_string(), line, message });
+    };
+
+    let variants = enum_variants(backend, "FileKind");
+    if variants.is_empty() {
+        push(out, 0, "could not parse `enum FileKind` variants".into());
+        return;
+    }
+    let flush_order = const_kind_list(backend, "FLUSH_ORDER");
+    let all = const_kind_list(backend, "ALL");
+    for (name, list) in [("FLUSH_ORDER", &flush_order), ("ALL", &all)] {
+        match list {
+            None => push(out, 0, format!("const {name} not found or not a FileKind array")),
+            Some((line, kinds)) => {
+                let got: BTreeSet<&str> = kinds.iter().map(String::as_str).collect();
+                let want: BTreeSet<&str> = variants.iter().map(String::as_str).collect();
+                if got != want {
+                    push(
+                        out,
+                        *line,
+                        format!("{name} {kinds:?} is not a permutation of FileKind {variants:?}"),
+                    );
+                }
+            }
+        }
+    }
+    if let Some((line, order)) = &flush_order {
+        let pos = |k: &str| order.iter().position(|v| v == k);
+        for (referrer, referee) in REF_EDGES {
+            if let (Some(a), Some(b)) = (pos(referrer), pos(referee)) {
+                if b >= a {
+                    push(
+                        out,
+                        *line,
+                        format!(
+                            "FLUSH_ORDER writes {referrer} before {referee}, but {referrer} \
+                             references {referee}: a crash between them dangles"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // The batched backend must drain pending writes in the canonical
+    // order, not a locally spelled-out kind list.
+    if let Some(batched) = ws.file("crates/store/src/batched.rs") {
+        if !batched.toks.iter().any(|t| t.is_ident("FLUSH_ORDER")) {
+            out.push(Finding {
+                pass: "L2-flush-order",
+                file: batched.rel.clone(),
+                line: 0,
+                message: "batched.rs never references FileKind::FLUSH_ORDER; \
+                          its flush loop can drift from the canonical order"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Variant names of `enum <name> { … }` (unit variants only, which is all
+/// `FileKind` has; tokens inside `[...]` attributes are skipped).
+fn enum_variants(file: &SourceFile, name: &str) -> Vec<String> {
+    let toks = &file.toks;
+    for i in 0..toks.len().saturating_sub(2) {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(name) && toks[i + 2].is_punct('{') {
+            let Some(close) = matching_close(toks, i + 2, '{', '}') else { return Vec::new() };
+            let mut variants = Vec::new();
+            let mut j = i + 3;
+            while j < close {
+                if toks[j].is_punct('[') {
+                    j = matching_close(toks, j, '[', ']').map(|e| e + 1).unwrap_or(close);
+                    continue;
+                }
+                if toks[j].kind == crate::lexer::TokKind::Ident {
+                    let next = &toks[j + 1];
+                    if next.is_punct(',') || next.is_punct('}') {
+                        variants.push(toks[j].text.clone());
+                    }
+                }
+                j += 1;
+            }
+            return variants;
+        }
+    }
+    Vec::new()
+}
+
+/// The `FileKind::X` names inside `const <name>: … = [ … ];`, with the
+/// line of the array literal.
+fn const_kind_list(file: &SourceFile, name: &str) -> Option<(u32, Vec<String>)> {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("const") && toks.get(i + 1).map(|t| t.is_ident(name)) == Some(true)) {
+            continue;
+        }
+        // Find the `=` then the `[` of the value; the type annotation also
+        // contains `[FileKind; 4]`, which the `=` skips past.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('=') {
+            j += 1;
+        }
+        while j < toks.len() && !toks[j].is_punct('[') {
+            j += 1;
+        }
+        let close = matching_close(toks, j, '[', ']')?;
+        let mut kinds = Vec::new();
+        let mut k = j + 1;
+        while k < close {
+            if (toks[k].is_ident("FileKind") || toks[k].is_ident("Self"))
+                && toks[k + 1].is_punct(':')
+                && toks[k + 2].is_punct(':')
+            {
+                kinds.push(toks[k + 3].text.clone());
+                k += 4;
+            } else {
+                k += 1;
+            }
+        }
+        return Some((toks[j].line, kinds));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// L3: DiskChunks and Hooks are immutable outside GC/compaction
+// ---------------------------------------------------------------------
+
+/// The paper's core invariant: HHR rewrites only Manifests; DiskChunks
+/// and Hooks are write-once. Only garbage collection and compaction may
+/// delete them — those live in `gc.rs` / `compact.rs`.
+fn pass_l3_immutability(ws: &Workspace, out: &mut Vec<Finding>) {
+    let exempt = ["crates/core/src/gc.rs", "crates/core/src/compact.rs"];
+    for file in ws.files.iter().filter(|f| {
+        (f.rel.starts_with("crates/store/src/")
+            || f.rel.starts_with("crates/core/src/")
+            || f.rel.starts_with("crates/cli/src/"))
+            && !exempt.contains(&f.rel.as_str())
+    }) {
+        let toks = &file.toks;
+        for i in 0..toks.len().saturating_sub(5) {
+            if file.test_mask[i] {
+                continue;
+            }
+            let is_mutation = (toks[i].is_ident("update") || toks[i].is_ident("delete"))
+                && i > 0
+                && toks[i - 1].is_punct('.');
+            if is_mutation
+                && toks[i + 1].is_punct('(')
+                && toks[i + 2].is_ident("FileKind")
+                && toks[i + 3].is_punct(':')
+                && toks[i + 4].is_punct(':')
+                && (toks[i + 5].is_ident("DiskChunk") || toks[i + 5].is_ident("Hook"))
+                && !file.is_allowed(toks[i].line, "immutability")
+            {
+                out.push(Finding {
+                    pass: "L3-immutability",
+                    file: file.rel.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "{}s are immutable; .{}() outside gc/compact breaks dedup \
+                         (`// lint: allow(immutability): reason` for sanctioned paths)",
+                        toks[i + 5].text,
+                        toks[i].text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L4: observability label hygiene
+// ---------------------------------------------------------------------
+
+/// Scope keys and stage prefixes, parsed from the obs crate's registries
+/// when present (so the linter follows the source of truth), else the
+/// built-in mirrors.
+fn obs_registries(ws: &Workspace) -> (Vec<String>, Vec<String>) {
+    let parse = |rel: &str, const_name: &str, fallback: &[&str]| {
+        ws.file(rel)
+            .and_then(|f| const_str_list(f, const_name))
+            .unwrap_or_else(|| fallback.iter().map(|s| s.to_string()).collect())
+    };
+    (
+        parse("crates/obs/src/scope.rs", "SCOPE_LABEL_KEYS", DEFAULT_SCOPE_KEYS),
+        parse("crates/obs/src/trace.rs", "STAGE_NAME_PREFIXES", DEFAULT_STAGE_PREFIXES),
+    )
+}
+
+/// String literals inside `const <name>: … = &[ … ];`.
+fn const_str_list(file: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("const") && toks.get(i + 1).map(|t| t.is_ident(name)) == Some(true)) {
+            continue;
+        }
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('=') {
+            j += 1;
+        }
+        while j < toks.len() && !toks[j].is_punct('[') {
+            j += 1;
+        }
+        let close = matching_close(toks, j, '[', ']')?;
+        let strs = toks[j + 1..close]
+            .iter()
+            .filter(|t| t.kind == crate::lexer::TokKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        return Some(strs);
+    }
+    None
+}
+
+fn pass_l4_obs_labels(ws: &Workspace, out: &mut Vec<Finding>) {
+    let (scope_keys, stage_prefixes) = obs_registries(ws);
+    for file in ws.files.iter().filter(|f| !f.rel.starts_with("crates/obs/src/")) {
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            // Tests may fabricate foreign labels (e.g. feeding the trace
+            // analyzer synthetic stage names); only production emissions
+            // must use the registered vocabulary.
+            if file.test_mask[i] {
+                continue;
+            }
+            // scope!("key=value" …)
+            if toks[i].is_ident("scope")
+                && toks.get(i + 1).map(|t| t.is_punct('!')) == Some(true)
+                && toks.get(i + 2).map(|t| t.is_punct('(')) == Some(true)
+            {
+                if let Some(lit) = toks.get(i + 3).filter(|t| t.kind == crate::lexer::TokKind::Str)
+                {
+                    match lit.text.split_once('=') {
+                        None => out.push(Finding {
+                            pass: "L4-obs-labels",
+                            file: file.rel.clone(),
+                            line: lit.line,
+                            message: format!("scope label {:?} is not key=value form", lit.text),
+                        }),
+                        Some((key, _)) if !scope_keys.iter().any(|k| k == key) => {
+                            out.push(Finding {
+                                pass: "L4-obs-labels",
+                                file: file.rel.clone(),
+                                line: lit.line,
+                                message: format!(
+                                    "scope key {key:?} not in SCOPE_LABEL_KEYS {scope_keys:?}"
+                                ),
+                            })
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            // stage("name") or stage(format!("name…", …))
+            if toks[i].is_ident("stage") && toks.get(i + 1).map(|t| t.is_punct('(')) == Some(true) {
+                let lit = match toks.get(i + 2) {
+                    Some(t) if t.kind == crate::lexer::TokKind::Str => Some(t),
+                    Some(t)
+                        if t.is_ident("format")
+                            && toks.get(i + 3).map(|t| t.is_punct('!')) == Some(true)
+                            && toks.get(i + 4).map(|t| t.is_punct('(')) == Some(true) =>
+                    {
+                        toks.get(i + 5).filter(|t| t.kind == crate::lexer::TokKind::Str)
+                    }
+                    _ => None,
+                };
+                if let Some(lit) = lit {
+                    let prefix: String = lit
+                        .text
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if !stage_prefixes.iter().any(|p| p == &prefix) {
+                        out.push(Finding {
+                            pass: "L4-obs-labels",
+                            file: file.rel.clone(),
+                            line: lit.line,
+                            message: format!(
+                                "stage name {:?} has prefix {prefix:?}, not in \
+                                 STAGE_NAME_PREFIXES {stage_prefixes:?}",
+                                lit.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L5: crate-root hygiene (missing_docs, obs feature gating)
+// ---------------------------------------------------------------------
+
+/// Crate root files: `src/lib.rs` and `src/main.rs` of each crate. Bin
+/// target files under `src/bin/` are thin drivers over a documented lib
+/// and are deliberately out of scope.
+fn crate_roots(ws: &Workspace) -> Vec<&SourceFile> {
+    ws.files
+        .iter()
+        .filter(|f| f.rel.ends_with("/src/lib.rs") || f.rel.ends_with("/src/main.rs"))
+        .collect()
+}
+
+/// True when the file carries inner attribute `#![level(lint)]` for any
+/// of the given levels.
+fn has_inner_attr(file: &SourceFile, levels: &[&str], lint: &str) -> bool {
+    let toks = &file.toks;
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].is_punct('#') && toks[i + 1].is_punct('!') && toks[i + 2].is_punct('[') {
+            if let Some(close) = matching_close(toks, i + 2, '[', ']') {
+                let attr = &toks[i + 3..close];
+                if attr.iter().any(|t| {
+                    t.kind == crate::lexer::TokKind::Ident && levels.contains(&t.text.as_str())
+                }) && attr.iter().any(|t| t.is_ident(lint))
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn pass_l5_missing_docs(ws: &Workspace, out: &mut Vec<Finding>) {
+    for root in crate_roots(ws) {
+        if !has_inner_attr(root, &["warn", "deny", "forbid"], "missing_docs") {
+            out.push(Finding {
+                pass: "L5-missing-docs",
+                file: root.rel.clone(),
+                line: 1,
+                message: "crate root lacks #![warn(missing_docs)]".into(),
+            });
+        }
+    }
+}
+
+/// Only binary and integration-test crates may force the `obs` feature:
+/// a library forcing it would switch every downstream build into the
+/// instrumented configuration and defeat the zero-cost-when-off design.
+fn pass_l5_obs_gating(ws: &Workspace, out: &mut Vec<Finding>) {
+    for (rel, text) in &ws.manifests {
+        let Some(crate_dir) = rel.strip_suffix("Cargo.toml").map(|p| p.trim_end_matches('/'))
+        else {
+            continue;
+        };
+        let forces_obs = text.lines().any(|l| {
+            let l = l.trim();
+            !l.starts_with('#')
+                && l.starts_with("mhd-obs")
+                && l.contains("features")
+                && l.contains("\"obs\"")
+        });
+        if !forces_obs {
+            continue;
+        }
+        let dir = ws.root.join(crate_dir);
+        let is_binary_like = text.contains("[[bin]]")
+            || dir.join("src/main.rs").exists()
+            || dir.join("src/bin").exists()
+            || dir.join("tests").exists();
+        if !is_binary_like {
+            let line = text
+                .lines()
+                .position(|l| l.trim_start().starts_with("mhd-obs"))
+                .map(|i| i as u32 + 1)
+                .unwrap_or(0);
+            out.push(Finding {
+                pass: "L5-obs-gating",
+                file: rel.clone(),
+                line,
+                message: "library crate forces mhd-obs feature \"obs\"; only binaries and \
+                          integration-test crates may opt the build into instrumentation"
+                    .into(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L6: forbid(unsafe_code) everywhere unsafe isn't needed
+// ---------------------------------------------------------------------
+
+fn pass_l6_forbid_unsafe(ws: &Workspace, out: &mut Vec<Finding>) {
+    for root in crate_roots(ws) {
+        let Some(crate_dir) =
+            root.rel.strip_suffix("/lib.rs").or_else(|| root.rel.strip_suffix("/main.rs"))
+        else {
+            continue;
+        };
+        // A crate using `unsafe` anywhere cannot forbid it at the root.
+        let crate_uses_unsafe = ws
+            .files
+            .iter()
+            .filter(|f| f.rel.starts_with(crate_dir))
+            .any(|f| f.toks.iter().any(|t| t.is_ident("unsafe")));
+        if crate_uses_unsafe {
+            continue;
+        }
+        if !has_inner_attr(root, &["forbid", "deny"], "unsafe_code") {
+            out.push(Finding {
+                pass: "L6-forbid-unsafe",
+                file: root.rel.clone(),
+                line: 1,
+                message: "crate has no unsafe code but the root lacks #![forbid(unsafe_code)]"
+                    .into(),
+            });
+        }
+    }
+}

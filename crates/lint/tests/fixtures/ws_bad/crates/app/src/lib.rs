@@ -1,0 +1,10 @@
+// Fixture: unregistered observability labels (L4) — a scope key not in
+// SCOPE_LABEL_KEYS, a scope label that is not key=value, and a stage name
+// with an unregistered prefix.
+
+pub fn run() {
+    let _scope = obs::scope!("bogus=1");
+    let _scope2 = obs::scope!("nokeyvalue");
+    let _stage = obs::stage("zzz.phase");
+    let _stage2 = obs::stage(format!("warp={}", 9));
+}

@@ -1,0 +1,14 @@
+// Fixture: an engine rewriting a DiskChunk and deleting a Hook (L3 —
+// both kinds are immutable outside gc/compact) and panicking on an I/O
+// path (L1; mhd.rs is one of the restricted core modules).
+
+pub fn rewrite_chunk(backend: &mut impl Backend, name: &str, data: &[u8]) {
+    if data.is_empty() {
+        panic!("empty chunk");
+    }
+    backend.update(FileKind::DiskChunk, name, data).unwrap();
+}
+
+pub fn drop_hook(backend: &mut impl Backend, name: &str) {
+    backend.delete(FileKind::Hook, name).unwrap();
+}

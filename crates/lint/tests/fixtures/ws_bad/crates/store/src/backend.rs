@@ -1,0 +1,16 @@
+// Fixture: FLUSH_ORDER violates the Manifest→DiskChunk reference edge
+// (Manifest flushes first) and ALL is missing a variant.
+
+pub enum FileKind {
+    DiskChunk,
+    Manifest,
+    Hook,
+    FileManifest,
+}
+
+impl FileKind {
+    pub const ALL: [FileKind; 3] = [FileKind::DiskChunk, FileKind::Manifest, FileKind::Hook];
+
+    pub const FLUSH_ORDER: [FileKind; 4] =
+        [FileKind::Manifest, FileKind::DiskChunk, FileKind::Hook, FileKind::FileManifest];
+}

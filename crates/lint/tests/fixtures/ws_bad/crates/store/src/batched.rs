@@ -1,0 +1,12 @@
+// Fixture: a flush loop spelling out its own kind order instead of
+// iterating FileKind::FLUSH_ORDER — the canonical order can drift.
+
+use crate::backend::FileKind;
+
+pub fn flush_all() {
+    for kind in [FileKind::Hook, FileKind::Manifest, FileKind::DiskChunk] {
+        flush_kind(kind);
+    }
+}
+
+fn flush_kind(_kind: FileKind) {}

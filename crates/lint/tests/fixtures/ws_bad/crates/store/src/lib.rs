@@ -1,0 +1,31 @@
+// Fixture: a store crate violating L1 (panics on a durability path),
+// L2a (raw fs mutation outside backend.rs), directive hygiene (missing
+// reason, unknown name), L5a (no missing_docs), and L6 (no forbid).
+
+pub fn load(path: &str) -> Vec<u8> {
+    let data = std::fs::read(path).unwrap();
+    data
+}
+
+pub fn store(path: &str, data: &[u8]) {
+    std::fs::write(path, data).expect("write failed");
+}
+
+// lint: allow(unwrap)
+pub fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// lint: allow(unwrp): typo in the directive name
+pub fn typoed(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

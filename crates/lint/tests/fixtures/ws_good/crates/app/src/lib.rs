@@ -1,0 +1,11 @@
+//! Fixture: observability labels drawn from the registered vocabularies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Emits correctly-labelled scopes and stages.
+pub fn run(idx: usize) {
+    let _scope = obs::scope!("shard={idx}");
+    let _stage = obs::stage("pipeline.producer");
+    let _stage2 = obs::stage(format!("engine={}", idx));
+}

@@ -1,0 +1,7 @@
+//! Fixture: garbage collection is the sanctioned home of DiskChunk and
+//! Hook deletion — gc.rs is exempt from L3.
+
+pub fn sweep(backend: &mut impl Backend, dead_chunk: &str, dead_hook: &str) {
+    let _ = backend.delete(FileKind::DiskChunk, dead_chunk);
+    let _ = backend.delete(FileKind::Hook, dead_hook);
+}

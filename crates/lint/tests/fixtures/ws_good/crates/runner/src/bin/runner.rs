@@ -1,0 +1,3 @@
+// Fixture: bin-target driver; crate-root hygiene attributes are required
+// only on src/lib.rs and src/main.rs roots.
+fn main() {}

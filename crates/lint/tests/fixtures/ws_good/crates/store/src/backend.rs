@@ -1,0 +1,30 @@
+//! Fixture: the canonical FileKind layout — ALL and FLUSH_ORDER are both
+//! permutations, and FLUSH_ORDER respects every reference edge. Raw fs
+//! calls are fine here: backend.rs owns the commit helpers.
+
+/// Object kinds.
+pub enum FileKind {
+    /// Data container.
+    DiskChunk,
+    /// Chunk recipe.
+    Manifest,
+    /// Sampled index entry.
+    Hook,
+    /// File recipe.
+    FileManifest,
+}
+
+impl FileKind {
+    /// Every kind.
+    pub const ALL: [FileKind; 4] =
+        [FileKind::DiskChunk, FileKind::Manifest, FileKind::Hook, FileKind::FileManifest];
+
+    /// Referees strictly before referrers.
+    pub const FLUSH_ORDER: [FileKind; 4] =
+        [FileKind::DiskChunk, FileKind::Manifest, FileKind::Hook, FileKind::FileManifest];
+}
+
+/// The commit helper: backend.rs may touch the filesystem directly.
+pub fn commit(tmp: &str, target: &str) -> std::io::Result<()> {
+    std::fs::rename(tmp, target)
+}

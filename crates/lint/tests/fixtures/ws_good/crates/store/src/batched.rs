@@ -1,0 +1,12 @@
+//! Fixture: a flush loop driven by the canonical order.
+
+use crate::backend::FileKind;
+
+/// Drains pending writes kind by kind in the canonical order.
+pub fn flush_all() {
+    for kind in FileKind::FLUSH_ORDER {
+        flush_kind(kind);
+    }
+}
+
+fn flush_kind(_kind: FileKind) {}

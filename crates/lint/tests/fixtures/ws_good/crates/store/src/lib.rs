@@ -1,0 +1,28 @@
+//! Fixture: a store crate satisfying every pass — reasons on every allow
+//! directive, crate-root hygiene attributes, panics only in test code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Loads a file, tolerating a missing path.
+pub fn load(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_default()
+}
+
+/// An exempted unwrap with its reviewable reason.
+pub fn head(items: &[u32]) -> u32 {
+    // lint: allow(unwrap): callers guarantee items is non-empty
+    *items.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_and_panic() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if v.is_none() {
+            panic!("unreachable");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end tests of the static passes over fixture workspaces: a
+//! deliberately broken mini-workspace (`ws_bad`) must produce exactly the
+//! expected findings per pass, and its clean twin (`ws_good`) none.
+
+use std::path::PathBuf;
+
+use mhd_lint::mck::check;
+use mhd_lint::models::{FlushModel, RingModel};
+use mhd_lint::{run_passes, Baseline, Finding, Workspace};
+
+fn fixture(name: &str) -> Vec<Finding> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let ws = Workspace::load(&root).expect("fixture loads");
+    run_passes(&ws)
+}
+
+fn count(findings: &[Finding], pass: &str) -> usize {
+    findings.iter().filter(|f| f.pass == pass).count()
+}
+
+fn has(findings: &[Finding], pass: &str, file: &str, line: u32) -> bool {
+    findings.iter().any(|f| f.pass == pass && f.file == file && f.line == line)
+}
+
+#[test]
+fn ws_bad_produces_every_expected_finding() {
+    let findings = fixture("ws_bad");
+
+    // L1: panics on durability paths — 4 in the store lib (including the
+    // unwraps whose directives are reasonless/typoed and so do not bind
+    // past their own line), 3 in the restricted core module.
+    assert_eq!(count(&findings, "L1-no-panic"), 7, "{findings:#?}");
+    assert!(has(&findings, "L1-no-panic", "crates/store/src/lib.rs", 6));
+    assert!(has(&findings, "L1-no-panic", "crates/store/src/lib.rs", 11));
+    assert!(has(&findings, "L1-no-panic", "crates/core/src/mhd.rs", 7)); // panic!
+
+    // L2a: one raw fs::write outside backend.rs.
+    assert_eq!(count(&findings, "L2-commit-path"), 1);
+    assert!(has(&findings, "L2-commit-path", "crates/store/src/lib.rs", 11));
+
+    // L2b: ALL not a permutation, the Manifest→DiskChunk edge inverted,
+    // and batched.rs never referencing FLUSH_ORDER.
+    assert_eq!(count(&findings, "L2-flush-order"), 3, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.pass == "L2-flush-order" && f.message.contains("not a permutation")));
+    assert!(findings
+        .iter()
+        .any(|f| f.pass == "L2-flush-order" && f.message.contains("Manifest before DiskChunk")));
+    assert!(findings
+        .iter()
+        .any(|f| f.pass == "L2-flush-order" && f.file == "crates/store/src/batched.rs"));
+
+    // L3: the engine rewrote a DiskChunk and deleted a Hook.
+    assert_eq!(count(&findings, "L3-immutability"), 2);
+    assert!(has(&findings, "L3-immutability", "crates/core/src/mhd.rs", 9));
+    assert!(has(&findings, "L3-immutability", "crates/core/src/mhd.rs", 13));
+
+    // L4: unknown scope key, malformed label, two unregistered stages.
+    assert_eq!(count(&findings, "L4-obs-labels"), 4, "{findings:#?}");
+    assert!(findings.iter().any(|f| f.pass == "L4-obs-labels" && f.message.contains("\"bogus\"")));
+    assert!(findings
+        .iter()
+        .any(|f| f.pass == "L4-obs-labels" && f.message.contains("not key=value")));
+
+    // L5/L6 crate-root hygiene + the gating rule.
+    assert_eq!(count(&findings, "L5-missing-docs"), 2);
+    assert_eq!(count(&findings, "L6-forbid-unsafe"), 2);
+    assert_eq!(count(&findings, "L5-obs-gating"), 1);
+    assert!(has(&findings, "L5-obs-gating", "crates/app/Cargo.toml", 7));
+
+    // Directive hygiene: one reasonless, one typoed name.
+    assert_eq!(count(&findings, "allow-directive"), 2);
+    assert!(findings
+        .iter()
+        .any(|f| f.pass == "allow-directive" && f.message.contains("needs a reason")));
+    assert!(findings
+        .iter()
+        .any(|f| f.pass == "allow-directive" && f.message.contains("unknown allow name")));
+}
+
+#[test]
+fn ws_bad_skips_test_code() {
+    let findings = fixture("ws_bad");
+    // The #[cfg(test)] module in the store lib unwraps freely (line 28).
+    assert!(
+        !findings.iter().any(|f| f.file == "crates/store/src/lib.rs" && f.line > 23),
+        "test-module code must not be linted: {findings:#?}"
+    );
+}
+
+#[test]
+fn ws_good_is_clean() {
+    let findings = fixture("ws_good");
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn baseline_written_from_findings_absorbs_them_all() {
+    let findings = fixture("ws_bad");
+    let baseline = Baseline::from_findings(&findings);
+    let json = baseline.to_json();
+    let reread = Baseline::from_json(&json).expect("round-trip");
+    let ratchet = reread.ratchet(findings);
+    assert!(ratchet.new.is_empty(), "baselined run must pass: {:#?}", ratchet.new);
+    assert!(!ratchet.baselined.is_empty());
+}
+
+#[test]
+fn one_new_finding_escapes_the_baseline() {
+    let mut findings = fixture("ws_bad");
+    let baseline = Baseline::from_findings(&findings);
+    findings.push(Finding {
+        pass: "L1-no-panic",
+        file: "crates/store/src/lib.rs".into(),
+        line: 99,
+        message: "a fresh unwrap".into(),
+    });
+    let ratchet = baseline.ratchet(findings);
+    assert_eq!(ratchet.new.len(), 1);
+    assert_eq!(ratchet.new[0].line, 99);
+}
+
+#[test]
+fn seeded_concurrency_bugs_are_caught() {
+    // The mutants replicate historical bugs; the checker finding them is
+    // what CI relies on to trust the green shipped-model runs.
+    let flush = check(&FlushModel::mutant_flush_order(), 1_000_000);
+    assert!(flush.violation.is_some(), "reversed FLUSH_ORDER not caught");
+    let ring = check(&RingModel::mutant_ring_prune(), 1_000_000);
+    assert!(ring.violation.is_some(), "eager ring prune not caught");
+
+    let flush = check(&FlushModel::shipped(), 1_000_000);
+    assert!(flush.passed(), "shipped flush protocol flagged: {:?}", flush.violation);
+    let ring = check(&RingModel::shipped(), 1_000_000);
+    assert!(ring.passed(), "shipped ring protocol flagged: {:?}", ring.violation);
+}

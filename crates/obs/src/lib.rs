@@ -77,9 +77,12 @@
 //! assert_eq!(snap.scope("engine=example").unwrap().counter("example.chunks"), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};
+
+pub mod sync;
 
 #[cfg(feature = "obs")]
 mod enabled;
@@ -92,13 +95,13 @@ mod disabled;
 pub use disabled::{counter, histogram, reset, snapshot, Counter, Histogram, Span};
 
 mod scope;
-pub use scope::{enter_scopes, scope_labels, Scope};
+pub use scope::{enter_scopes, scope_labels, Scope, SCOPE_LABEL_KEYS};
 
 mod trace;
 pub use trace::{
     stage, trace, trace_buffer_count, trace_drain, trace_from_jsonl, trace_from_jsonl_lossy,
     trace_start, trace_stop, trace_to_chrome, trace_to_jsonl, tracing, ExtendDir, TraceEvent,
-    TraceRecord, TraceStage, DEFAULT_TRACE_CAPACITY,
+    TraceRecord, TraceStage, DEFAULT_TRACE_CAPACITY, STAGE_NAME_PREFIXES,
 };
 
 pub mod analysis;

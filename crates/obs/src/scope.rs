@@ -16,13 +16,22 @@
 //! event; with the `obs` feature off the whole module compiles to
 //! nothing.
 
+/// The registered attribution-label families: every [`crate::scope!`]
+/// label is `key=value`, and `key` must appear in this list (`"t"` is
+/// reserved for unit tests). `mhd-lint`'s L4 pass parses this constant
+/// from source and cross-checks every `scope!` call site in the
+/// workspace, so introducing a new label family means registering its
+/// key here — which is also where dashboards and the snapshot comparator
+/// learn what to expect.
+pub const SCOPE_LABEL_KEYS: &[&str] = &["cmd", "engine", "fleet", "io", "run", "shard", "t"];
+
 #[cfg(feature = "obs")]
 mod imp {
     use std::cell::RefCell;
     use std::collections::{BTreeMap, HashMap};
     use std::marker::PhantomData;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Mutex, OnceLock};
+
+    use crate::sync::{AtomicUsize, Mutex, OnceLock, Ordering};
 
     use crate::enabled::{lock_ignore_poison, Counter, Histogram, Registry};
     use crate::Snapshot;

@@ -26,6 +26,14 @@
 
 use serde::{Content, Deserialize, Serialize};
 
+/// The registered stage-name families: every [`stage`] label must begin
+/// with one of these prefixes (the text before any `=` or `.`
+/// qualifier — `"pipeline.producer"` and `"shard=3"` are both covered).
+/// `mhd-lint`'s L4 pass parses this constant from source and
+/// cross-checks every `mhd_obs::stage(..)` call site, keeping the
+/// analyzer's stage taxonomy closed under review.
+pub const STAGE_NAME_PREFIXES: &[&str] = &["backup", "engine", "io", "pipeline", "shard"];
+
 /// Direction of a match extension ([`TraceEvent::BmeExtend`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExtendDir {
@@ -189,9 +197,9 @@ pub struct TraceRecord {
 mod rt {
     use std::cell::OnceCell;
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-    use std::sync::{Arc, Mutex, OnceLock};
     use std::time::Instant;
+
+    use crate::sync::{Arc, AtomicBool, AtomicU32, AtomicUsize, Mutex, OnceLock, Ordering};
 
     use super::{TraceEvent, TraceRecord};
     use crate::enabled::lock_ignore_poison;
@@ -233,8 +241,19 @@ mod rt {
     /// fleets, pipeline producers) leak one ring buffer each for the
     /// process lifetime. Callers hold the registry lock's critical
     /// section briefly; a live thread always counts ≥ 2 and is kept.
+    ///
+    /// A dead ring is only pruned once it is also *empty*. Recording
+    /// takes the ring mutex but not the registry lock, so a thread can
+    /// push a final event after [`trace_drain`] drained its ring and
+    /// exit before the same drain's prune step — pruning on liveness
+    /// alone would silently drop that event (the drained-event-loss
+    /// window `mhd-lint mck`'s ring model explores; the pre-fix
+    /// behaviour is preserved there as the `ring-prune` mutant). A
+    /// dead-but-nonempty ring survives until the next drain empties it.
     fn prune_dead_threads(registry: &mut Vec<Arc<ThreadBuf>>) {
-        registry.retain(|buf| Arc::strong_count(buf) > 1);
+        registry.retain(|buf| {
+            Arc::strong_count(buf) > 1 || !lock_ignore_poison(&buf.events).is_empty()
+        });
     }
 
     /// Arms tracing with the given per-thread ring capacity (clamped to
@@ -245,10 +264,12 @@ mod rt {
         let _ = epoch(); // pin the epoch before the first event
         CAPACITY.store(capacity.max(1), Ordering::Relaxed);
         let mut registry = lock_ignore_poison(bufs());
-        prune_dead_threads(&mut registry);
+        // Clear before pruning: a fresh window discards leftover events,
+        // which makes every dead ring empty and therefore prunable.
         for buf in registry.iter() {
             lock_ignore_poison(&buf.events).clear();
         }
+        prune_dead_threads(&mut registry);
         drop(registry);
         TRACING.store(true, Ordering::Release);
     }
@@ -341,6 +362,35 @@ mod rt {
             if let Some(stage) = self.stage.take() {
                 trace(TraceEvent::StageEnd { stage });
             }
+        }
+    }
+
+    #[cfg(test)]
+    mod prune_tests {
+        use std::collections::VecDeque;
+
+        use super::*;
+
+        #[test]
+        fn dead_nonempty_rings_survive_pruning_until_drained() {
+            // A ring whose owner exited (strong count 1) but that still
+            // holds an event models the record-after-drain /
+            // exit-before-prune race: recording takes only the ring
+            // mutex, so the final event of a dying thread can land after
+            // trace_drain's drain step. Pruning must keep the ring until
+            // a drain empties it, or the event is silently lost.
+            let buf = Arc::new(ThreadBuf { tid: u32::MAX, events: Mutex::new(VecDeque::new()) });
+            lock_ignore_poison(&buf.events).push_back(TraceRecord {
+                ts_ns: 0,
+                tid: u32::MAX,
+                event: TraceEvent::HookHit,
+            });
+            let mut registry = vec![buf];
+            prune_dead_threads(&mut registry);
+            assert_eq!(registry.len(), 1, "dead-but-nonempty ring must not be pruned");
+            lock_ignore_poison(&registry[0].events).clear();
+            prune_dead_threads(&mut registry);
+            assert!(registry.is_empty(), "dead-and-empty ring is reclaimed");
         }
     }
 }

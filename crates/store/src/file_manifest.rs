@@ -29,6 +29,21 @@ pub struct Extent {
 /// plus 8-byte offset and 8-byte length.
 pub const EXTENT_BYTES: usize = 36;
 
+/// Little-endian u32 at `at`; callers have already bounds-checked, so the
+/// copy replaces a `try_into().expect(..)`.
+fn le_u32(data: &[u8], at: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&data[at..at + 4]);
+    u32::from_le_bytes(raw)
+}
+
+/// Little-endian u64 at `at`; same contract as [`le_u32`].
+fn le_u64(data: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&data[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
+
 impl serde::Serialize for DiskChunkId {
     fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
         s.serialize_u64(self.0)
@@ -140,7 +155,7 @@ impl FileManifest {
         if data.len() < 4 {
             return Err(StoreError::Corrupt("file manifest truncated".into()));
         }
-        let n = u32::from_le_bytes(data[..4].try_into().expect("4 bytes")) as usize;
+        let n = le_u32(data, 0) as usize;
         if data.len() != 4 + n * EXTENT_BYTES {
             return Err(StoreError::Corrupt(format!(
                 "file manifest size {} does not match {n} entries",
@@ -150,10 +165,9 @@ impl FileManifest {
         let mut fm = FileManifest::new();
         for i in 0..n {
             let base = 4 + i * EXTENT_BYTES;
-            let container =
-                DiskChunkId(u64::from_le_bytes(data[base..base + 8].try_into().expect("8")));
-            let offset = u64::from_le_bytes(data[base + 20..base + 28].try_into().expect("8"));
-            let len = u64::from_le_bytes(data[base + 28..base + 36].try_into().expect("8"));
+            let container = DiskChunkId(le_u64(data, base));
+            let offset = le_u64(data, base + 20);
+            let len = le_u64(data, base + 28);
             // Reinsert without re-coalescing: entries were already maximal.
             fm.extents.push(Extent { container, offset, len });
             fm.total_len += len;

@@ -36,6 +36,7 @@ mod iostats;
 mod ledger;
 mod manifest;
 mod substrate;
+pub mod sync;
 
 pub use backend::{
     Backend, DirBackend, Durability, FaultBackend, FaultOp, FaultPoint, FileKind, MemBackend,

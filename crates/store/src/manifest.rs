@@ -303,17 +303,24 @@ impl Cursor<'_> {
         self.pos += n;
         Ok(s)
     }
+    /// `take(N)` as a fixed-size array; the copy replaces a
+    /// `try_into().expect(..)` so truncation is the only failure mode.
+    fn array<const N: usize>(&mut self) -> StoreResult<[u8; N]> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
     fn u8(&mut self) -> StoreResult<u8> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> StoreResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> StoreResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn hash(&mut self) -> StoreResult<ChunkHash> {
-        Ok(ChunkHash::from_bytes(self.take(20)?.try_into().expect("20 bytes")))
+        Ok(ChunkHash::from_bytes(self.array()?))
     }
     fn skip(&mut self, n: usize) -> StoreResult<()> {
         self.take(n).map(|_| ())

@@ -198,8 +198,9 @@ impl<B: Backend> Substrate<B> {
         self.stats.hook_input += 1;
         match self.backend.get(FileKind::Hook, &hash.to_hex()) {
             Ok(payload) if payload.len() == 20 => {
-                let id = u64::from_le_bytes(payload[..8].try_into().expect("8-byte manifest id"));
-                Ok(Some(ManifestId(id)))
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&payload[..8]);
+                Ok(Some(ManifestId(u64::from_le_bytes(raw))))
             }
             Ok(_) => Err(crate::StoreError::Corrupt("hook payload must be 20 bytes".into())),
             Err(crate::StoreError::NotFound { .. }) => Ok(None),
@@ -242,10 +243,13 @@ impl<B: Backend> Substrate<B> {
         mhd_obs::counter!("store.manifest_updates").inc();
         mhd_obs::histogram!("store.manifest_write_bytes").record(encoded.len() as u64);
         self.stats.manifest_output += 1;
-        let old = self
-            .manifest_sizes
-            .insert(manifest.id, encoded.len() as u64)
-            .expect("update_manifest on a manifest that was never written");
+        let old =
+            self.manifest_sizes.insert(manifest.id, encoded.len() as u64).ok_or_else(|| {
+                crate::StoreError::Corrupt(format!(
+                    "update_manifest: {:?} was never written through this substrate",
+                    manifest.id
+                ))
+            })?;
         self.ledger.manifest_bytes = self.ledger.manifest_bytes - old + encoded.len() as u64;
         Ok(())
     }
@@ -311,6 +315,7 @@ impl<B: Backend> Substrate<B> {
     /// engines never delete.
     pub fn delete_disk_chunk(&mut self, id: DiskChunkId) -> StoreResult<()> {
         let len = self.backend.size_of(FileKind::DiskChunk, &id.name())?;
+        // lint: allow(immutability): the GC entry point — the one sanctioned chunk deletion
         self.backend.delete(FileKind::DiskChunk, &id.name())?;
         self.ledger.inodes_disk_chunks -= 1;
         self.ledger.stored_data_bytes -= len;
@@ -332,6 +337,7 @@ impl<B: Backend> Substrate<B> {
     /// occurrence-style hook names).
     pub fn delete_hook_by_name(&mut self, name: &str) -> StoreResult<()> {
         let len = self.backend.size_of(FileKind::Hook, name)?;
+        // lint: allow(immutability): the GC entry point — hooks die only with their manifest
         self.backend.delete(FileKind::Hook, name)?;
         self.ledger.inodes_hooks -= 1;
         self.ledger.hook_bytes -= len;

@@ -1,0 +1,20 @@
+//! Concurrency-primitive facade for the batched I/O path.
+//!
+//! [`crate::BatchedDirBackend`]'s worker pool imports its channel and
+//! thread-coordination primitives through this module rather than
+//! straight from `std::sync` / `crossbeam`. The indirection pins the
+//! exact primitive surface that `mhd-lint`'s deterministic model checker
+//! mirrors: the flush-barrier model in `crates/lint/src/models.rs`
+//! explores bounded interleavings of precisely these operations (job
+//! send, per-write commit, done-channel barrier), so a primitive added
+//! here without a model update is visible in review, and `mhd-lint`'s
+//! L4 pass rejects direct `std::sync` / `crossbeam` imports in
+//! `batched.rs`.
+//!
+//! The re-exports are the real implementations — there is no behavioral
+//! shim; swapping in an instrumented implementation (loom-style) is a
+//! one-module change.
+
+pub use std::sync::mpsc;
+
+pub use crossbeam::channel::{bounded, Receiver, SendError, Sender};
