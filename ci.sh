@@ -12,13 +12,16 @@
 #   4. analysis  — `mhd compare` finds zero regressions across two
 #      same-seed runs (and flags differing runs), and `mhd trace analyze`
 #      digests a bench-produced trace
-#   5. lint      — mhd-lint invariant passes (ratcheted against
-#      lint-baseline.json) + exhaustive model checking of the flush and
-#      trace-ring protocols, plus both seeded-bug mutants as negative
-#      tests of the checker itself
-#   6. rustfmt   — style, enforced via rustfmt.toml
-#   7. clippy    — all targets, warnings are errors
-#   8. rustdoc   — every public item documented, no broken links
+#   5. daemon    — `mhd serve` end-to-end: three concurrent client
+#      sessions over the Unix socket, per-tenant restore + byte compare,
+#      fsck, clean shutdown
+#   6. lint      — mhd-lint invariant passes (ratcheted against
+#      lint-baseline.json) + exhaustive model checking of the flush,
+#      trace-ring, and GC-protection protocols, plus all seeded-bug
+#      mutants as negative tests of the checker itself
+#   7. rustfmt   — style, enforced via rustfmt.toml
+#   8. clippy    — all targets, warnings are errors
+#   9. rustdoc   — every public item documented, no broken links
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -78,12 +81,45 @@ cargo build --workspace --no-default-features
 step "feature matrix: crash-safety tests with obs compiled out"
 cargo test -q -p mhd-store -p mhd-core
 
+step "daemon: concurrent client sessions over mhd serve"
+mkdir -p "$SMOKE/clients"
+for t in a b c; do
+    mkdir -p "$SMOKE/clients/$t"
+    head -c 131072 /dev/urandom > "$SMOKE/clients/$t/image.img"
+done
+./target/release/mhd serve --store "$SMOKE/daemon-store" \
+    --socket "$SMOKE/mhd.sock" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    [[ -S "$SMOKE/mhd.sock" ]] && break
+    sleep 0.1
+done
+./target/release/mhd client ping --socket "$SMOKE/mhd.sock"
+CLIENT_PIDS=()
+for t in a b c; do
+    ./target/release/mhd client backup "$SMOKE/clients/$t" \
+        --socket "$SMOKE/mhd.sock" --tenant "tenant-$t" --label day0 &
+    CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
+for t in a b c; do
+    ./target/release/mhd client restore day0_image.img \
+        --socket "$SMOKE/mhd.sock" --tenant "tenant-$t" \
+        -o "$SMOKE/clients/$t/restored.img"
+    cmp "$SMOKE/clients/$t/image.img" "$SMOKE/clients/$t/restored.img"
+done
+./target/release/mhd client fsck --socket "$SMOKE/mhd.sock"
+./target/release/mhd client shutdown --socket "$SMOKE/mhd.sock"
+wait "$SERVE_PID"
+./target/release/mhd fsck --store "$SMOKE/daemon-store"
+
 step "lint: mhd-lint invariant passes + model checking"
 ./target/release/mhd-lint --baseline lint-baseline.json
 # The checker must still catch the seeded historical bugs — a checker
 # that stops finding them is itself broken.
 ./target/release/mhd-lint --mutant flush-order > /dev/null
 ./target/release/mhd-lint --mutant ring-prune > /dev/null
+./target/release/mhd-lint --mutant gc-protect > /dev/null
 
 step "cargo fmt --check"
 cargo fmt --check

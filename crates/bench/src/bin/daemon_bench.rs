@@ -1,0 +1,149 @@
+//! Concurrent-sessions exhibit (extension experiment, not in the paper):
+//! aggregate backup throughput of `mhd serve` as the number of concurrent
+//! client sessions grows. Every configuration pushes the *same* corpus
+//! through the daemon — machines are partitioned across N clients, each
+//! client is its own tenant driving the wire protocol over a Unix socket
+//! — so the exhibit isolates what session concurrency buys (overlapping
+//! protocol parsing, chunking, and hashing) against the shared-engine
+//! commit lock that serialises index updates.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use mhd_bench::{print_table, Cli};
+use mhd_daemon::{Client, Daemon, DaemonConfig};
+use serde_json::json;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mhd-daemon-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Drives one machine's snapshot history through its own client
+/// connection, one session per day; returns bytes sent.
+fn drive_machine(socket: &Path, tenant: &str, snapshots: &[&mhd_workload::Snapshot]) -> u64 {
+    let mut client = Client::connect(socket).expect("connect");
+    client.open(tenant).expect("open tenant");
+    let mut sent = 0;
+    for snapshot in snapshots {
+        client.begin(&format!("m{}-d{}", snapshot.machine, snapshot.day)).expect("begin");
+        for file in &snapshot.files {
+            // Corpus paths are `m<machine>/d<day>/f<index>`; the tenant and
+            // day already scope the session, so send the file leaf only.
+            let leaf = file.path.rsplit('/').next().expect("nonempty path");
+            client.send_file(leaf, &file.data).expect("send");
+            sent += file.data.len() as u64;
+        }
+        client.commit().expect("commit");
+    }
+    sent
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let corpus = cli.corpus();
+    let machines = corpus.spec().machines;
+    let input_mib = corpus.total_bytes() as f64 / (1 << 20) as f64;
+
+    let session_counts: Vec<usize> =
+        [1usize, 2, 4, 8].into_iter().filter(|&n| n <= machines).collect();
+
+    let mut rows = Vec::new();
+    let mut js = Vec::new();
+    let mut reference_stored = None;
+    for &sessions in &session_counts {
+        eprintln!("daemon_bench: {sessions} concurrent session(s)");
+        let root = temp_root(&format!("s{sessions}"));
+        let store_dir = root.join("store");
+        let socket = root.join("mhd.sock");
+        let daemon = Daemon::open(&store_dir, DaemonConfig::default()).expect("open daemon");
+        let store = daemon.store().clone();
+        let handle = daemon.spawn(&socket).expect("spawn daemon");
+
+        // Partition machines round-robin across N clients; each client is
+        // one tenant and replays its machines' days in backup order.
+        let start = Instant::now();
+        let workers: Vec<_> = (0..sessions)
+            .map(|w| {
+                let socket = socket.clone();
+                let snapshots: Vec<mhd_workload::Snapshot> = corpus
+                    .snapshots
+                    .iter()
+                    .filter(|s| s.machine % sessions == w)
+                    .cloned()
+                    .collect();
+                std::thread::spawn(move || {
+                    let refs: Vec<&mhd_workload::Snapshot> = snapshots.iter().collect();
+                    drive_machine(&socket, &format!("client{w}"), &refs)
+                })
+            })
+            .collect();
+        let sent: u64 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(sent, corpus.total_bytes(), "clients must replay the whole corpus");
+
+        let stats = store.stats();
+        assert_eq!(stats.input_bytes, corpus.total_bytes(), "daemon lost input bytes");
+
+        // Whatever the commit interleaving did to hook placement, restores
+        // must stay byte-identical — probe machine 0, day 0.
+        let mut admin = Client::connect(&socket).expect("connect admin");
+        admin.open("client0").expect("open probe tenant");
+        let probe = corpus
+            .snapshots
+            .iter()
+            .find(|s| s.machine == 0 && s.day == 0)
+            .expect("corpus has machine 0 day 0");
+        for file in &probe.files {
+            let leaf = file.path.rsplit('/').next().expect("nonempty path");
+            let restored = admin.restore(&format!("m0-d0_{leaf}")).expect("restore probe");
+            assert_eq!(restored, file.data, "restore of m0/d0/{leaf} diverged");
+        }
+        admin.shutdown().expect("shutdown");
+        handle.join().expect("serve thread");
+
+        // Hysteresis re-chunking is order-sensitive, so concurrent commit
+        // interleavings may shift hook placement slightly — but the stored
+        // set must stay in the same ballpark as the serial run.
+        let reference = *reference_stored.get_or_insert(stats.stored_bytes);
+        assert!(
+            stats.stored_bytes * 10 < reference * 13 && reference * 10 < stats.stored_bytes * 13,
+            "{sessions} sessions: stored {} bytes vs serial {} — dedup regressed under concurrency",
+            stats.stored_bytes,
+            reference
+        );
+
+        let throughput = input_mib / seconds;
+        rows.push(vec![
+            sessions.to_string(),
+            format!("{seconds:.2}"),
+            format!("{throughput:.1}"),
+            stats.streams.to_string(),
+            format!("{:.1}", stats.stored_bytes as f64 / (1 << 20) as f64),
+        ]);
+        js.push(json!({
+            "sessions": sessions,
+            "seconds": seconds,
+            "aggregate_mib_s": throughput,
+            "streams": stats.streams,
+            "chunks_stored": stats.chunks_stored,
+            "stored_bytes": stats.stored_bytes,
+            "input_bytes": stats.input_bytes,
+            "dup_bytes": stats.dup_bytes,
+        }));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    print_table(
+        "Aggregate daemon backup throughput vs concurrent sessions (extension experiment)",
+        &["sessions", "seconds", "MiB/s", "streams", "stored MiB"],
+        &rows,
+    );
+    println!("\nevery configuration replays the identical corpus; only session concurrency varies");
+
+    cli.write_json("daemon_bench.json", &js);
+    cli.write_internals("daemon_bench_internals.json");
+    cli.write_trace();
+}

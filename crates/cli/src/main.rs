@@ -11,6 +11,8 @@
 //! mhd trace analyze  <file.jsonl> | --store <store>  [--json] [--buckets N]
 //! mhd compare        <a.json> <b.json> [--fail-on <pct>] [--include-timings] [--json]
 //! mhd fsck           --store <store> [--deep]
+//! mhd serve          --store <store> --socket <path> [tuning flags]
+//! mhd client <verb>  --socket <path> [--tenant T] […]
 //! ```
 //!
 //! Each `backup` run is one backup stream (like one of the paper's daily
@@ -18,6 +20,10 @@
 //! everything stored before — the session state (Bloom filter, counters,
 //! manifest sizes) persists next to the store and is reloaded on every
 //! invocation.
+//!
+//! `serve` keeps one store open for many concurrent clients: each
+//! `client backup` is an isolated tenant session against the shared
+//! deduplicated store (see the `mhd-daemon` crate and OPERATIONS.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,13 +31,14 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod daemon_cmd;
 mod session;
 
 use session::Session;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n                     [--io-threads N] [--durability none|rename|fsync] [--trace]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals [--pretty]]\n  mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]\n  mhd trace analyze  <file.jsonl> | --store <store>  [--json] [--buckets N]\n  mhd compare        <a.json> <b.json> [--fail-on <pct>] [--include-timings] [--json]\n  mhd verify         --store <store> [--deep]\n  mhd fsck           --store <store> [--deep]   (crash recovery + verify)\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]"
+        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n                     [--io-threads N] [--durability none|rename|fsync] [--trace]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals [--pretty]]\n  mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]\n  mhd trace analyze  <file.jsonl> | --store <store>  [--json] [--buckets N]\n  mhd compare        <a.json> <b.json> [--fail-on <pct>] [--include-timings] [--json]\n  mhd verify         --store <store> [--deep]\n  mhd fsck           --store <store> [--deep]   (crash recovery + verify)\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]\n  mhd serve          --store <store> --socket <path> [--ecs N] [--sd N]\n                     [--io-threads N] [--durability none|rename|fsync] [--shards N]\n  mhd client backup <dir>   --socket <path> --tenant T [--label NAME]\n  mhd client restore <name> --socket <path> --tenant T -o <path>\n  mhd client ls             --socket <path> --tenant T\n  mhd client gc|fsck|stats|ping|shutdown   --socket <path>"
     );
     std::process::exit(2)
 }
@@ -52,6 +59,8 @@ fn main() -> ExitCode {
         "rm" => cmd_rm(&args[1..]),
         "gc" => cmd_gc(&args[1..]),
         "compact" => cmd_compact(&args[1..]),
+        "serve" => daemon_cmd::cmd_serve(&args[1..]),
+        "client" => daemon_cmd::cmd_client(&args[1..]),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command {other:?}");

@@ -1,9 +1,15 @@
 //! A durable, resumable MHD session over a directory store.
 //!
 //! The store layout is the paper's four hash-addressable namespaces (via
-//! [`BatchedDirBackend`]) plus a `session/` directory holding the serialised
-//! engine state: `state.json` (counters, ledger, manifest sizes, Bloom
-//! filter bits base64-free as a sibling binary).
+//! [`BatchedDirBackend`]) plus a `session/` directory holding the
+//! serialised engine state: `state.json` (counters, ledger, manifest
+//! sizes and the Bloom filter bits, all in one JSON document) and
+//! `meta.json` (the store's chunking parameters and stream count). Both
+//! files are rewritten through a tmp sibling + atomic rename, so a crash
+//! mid-close leaves the previous consistent state in place.
+//!
+//! The same layout is shared with `mhd serve` (the `mhd-daemon` crate):
+//! a stopped daemon store opens as a plain CLI session and vice versa.
 
 use std::path::{Path, PathBuf};
 

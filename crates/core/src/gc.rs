@@ -34,6 +34,10 @@ pub struct GcReport {
     pub hooks_deleted: u64,
     /// Containers still alive (for occupancy reporting).
     pub containers_live: u64,
+    /// Containers spared by the protection cutoff (unreferenced *now*,
+    /// but written at or after an in-progress session's watermark — their
+    /// recipes may not have landed yet). Always `0` for [`collect`].
+    pub containers_protected: u64,
 }
 
 /// Deletes every FileManifest whose name starts with `prefix` (e.g. one
@@ -59,7 +63,42 @@ pub fn delete_stream<B: Backend>(
 
 /// Mark-and-sweep reclamation of unreferenced containers and their
 /// metadata.
+///
+/// Safe only when no session is writing concurrently (the CLI runs it on
+/// an otherwise-idle store). Under concurrent writers use
+/// [`collect_protected`] with the oldest in-progress session's chunk-id
+/// watermark as the cutoff.
 pub fn collect<B: Backend>(substrate: &mut Substrate<B>) -> StoreResult<GcReport> {
+    collect_protected(substrate, u64::MAX)
+}
+
+/// Mark-and-sweep reclamation that never touches DiskChunks with
+/// `id >= cutoff` — the *protected set* of in-progress sessions.
+///
+/// Chunk ids are allocated monotonically
+/// ([`Substrate::chunk_id_watermark`]), which gives concurrent GC a
+/// session-protection protocol without per-chunk reference counting:
+///
+/// 1. every writing session records the watermark at the moment it
+///    *opened* (before it wrote anything);
+/// 2. a GC pass computes `cutoff = min(watermark at GC start, min over
+///    registered sessions' watermarks)`;
+/// 3. the sweep deletes an unreferenced chunk only when `id < cutoff`.
+///
+/// Any chunk a live session has written — or will write — has an id at
+/// or above that session's watermark, hence at or above the cutoff, so
+/// the sweep can never collect a chunk whose recipe merely has not
+/// landed yet. Chunks below the cutoff belong to sessions that finished
+/// (their recipes are on disk and participate in the mark) or died
+/// (their intent records were rolled back at recovery), so for them the
+/// classic mark result is authoritative. The interleaving argument is
+/// model-checked exhaustively by `mhd-lint`'s `gc-protect` model.
+///
+/// `cutoff = u64::MAX` protects nothing and degenerates to [`collect`].
+pub fn collect_protected<B: Backend>(
+    substrate: &mut Substrate<B>,
+    cutoff: u64,
+) -> StoreResult<GcReport> {
     let mut report = GcReport::default();
 
     // Mark: containers referenced by any live recipe.
@@ -81,6 +120,11 @@ pub fn collect<B: Backend>(substrate: &mut Substrate<B>) -> StoreResult<GcReport
         );
         if live.contains(&id) {
             report.containers_live += 1;
+        } else if id.0 >= cutoff {
+            // Written at or after a registered session's watermark: its
+            // recipe may still be in flight. Spared this pass; a later
+            // pass (after the session commits or is rolled back) decides.
+            report.containers_protected += 1;
         } else {
             report.data_bytes_freed += substrate.disk_chunk_len(id)?;
             substrate.delete_disk_chunk(id)?;
@@ -222,6 +266,44 @@ mod tests {
         // And the store stays structurally sound.
         let fsck = crate::fsck::check_store(e.substrate_mut());
         assert!(fsck.is_healthy(), "{:?}", fsck.problems);
+    }
+
+    #[test]
+    fn protected_cutoff_spares_unreferenced_chunks_above_it() {
+        let (mut e, _) = dedupped();
+        // Delete every recipe *without* sweeping, then collect with a
+        // cutoff of 0: every chunk is unreferenced but protected.
+        let victims = e.substrate_mut().list_file_manifests();
+        for name in victims {
+            e.substrate_mut().delete_file_manifest(&name).unwrap();
+        }
+        let spared = collect_protected(e.substrate_mut(), 0).unwrap();
+        assert_eq!(spared.containers_deleted, 0);
+        assert!(spared.containers_protected > 0);
+        assert_eq!(spared.containers_live, 0);
+
+        // Raising the cutoff past the watermark reclaims everything —
+        // exactly what collect() does.
+        let watermark = e.substrate_mut().chunk_id_watermark();
+        let swept = collect_protected(e.substrate_mut(), watermark).unwrap();
+        assert_eq!(swept.containers_protected, 0);
+        assert_eq!(swept.containers_deleted, spared.containers_protected);
+        assert_eq!(e.substrate_mut().ledger().stored_data_bytes, 0);
+    }
+
+    #[test]
+    fn protection_never_deletes_what_a_later_recipe_references() {
+        // The daemon scenario: session S records watermark W, GC runs
+        // while S's chunks are on disk but its recipe is not. Modelled by
+        // writing chunks directly, collecting with cutoff = W, then
+        // asserting the chunks survive to be referenced.
+        let mut e = MhdEngine::new(MemBackend::new(), EngineConfig::new(512, 8)).unwrap();
+        let watermark = e.substrate_mut().chunk_id_watermark();
+        let id = e.substrate_mut().write_disk_chunk_bytes(b"session-data").unwrap();
+        let report = collect_protected(e.substrate_mut(), watermark).unwrap();
+        assert_eq!(report.containers_deleted, 0, "in-flight chunk must be spared");
+        assert_eq!(report.containers_protected, 1);
+        assert_eq!(&e.substrate_mut().read_chunk_range(id, 0, 12).unwrap()[..], b"session-data");
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! landed on different shards) is deliberately forfeited; that is the real
 //! trade-off sharded dedup makes, and
 //! `tests/sharding.rs::sharding_costs_cross_machine_dup` quantifies it.
+//! The `mhd-daemon` crate takes the complementary point in that design
+//! space: **one** shared store behind a lock, with concurrency recovered
+//! through a sharded in-memory hook index (`SharedHookIndex`) instead of
+//! sharded substrates — cross-tenant dedup is kept, and only index
+//! access parallelises. DESIGN.md §10 compares the two.
 
 use mhd_store::{Backend, MemBackend};
 use mhd_workload::Snapshot;

@@ -1,0 +1,193 @@
+//! Blocking client for the `mhd serve` socket protocol.
+//!
+//! One [`Client`] is one connection: attach a tenant with
+//! [`open`](Client::open), then run sessions
+//! (`begin` → `send_file`… → `commit`/`abort`) and reads (`ls`,
+//! `restore`, `have`). The wire format is documented in
+//! [`crate::protocol`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::error::{DaemonError, DaemonResult};
+use crate::protocol::Request;
+
+/// What the server reported for a committed session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitSummary {
+    /// Files committed.
+    pub files: u64,
+    /// Raw input bytes sent.
+    pub input_bytes: u64,
+    /// Bytes the shared store actually grew by.
+    pub grown_bytes: u64,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connects to a daemon's Unix socket.
+    pub fn connect(socket: &Path) -> DaemonResult<Client> {
+        let stream = UnixStream::connect(socket)?;
+        Ok(Client { reader: BufReader::new(stream) })
+    }
+
+    fn send_line(&mut self, request: &Request) -> DaemonResult<()> {
+        let stream = self.reader.get_mut();
+        stream.write_all(request.encode().as_bytes())?;
+        stream.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Reads one reply line; `OK …` yields the rest, `ERR …` becomes
+    /// [`DaemonError::Remote`].
+    fn read_reply(&mut self) -> DaemonResult<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(DaemonError::Protocol("server closed the connection".into()));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if let Some(rest) = line.strip_prefix("OK") {
+            Ok(rest.trim_start().to_string())
+        } else if let Some(msg) = line.strip_prefix("ERR") {
+            Err(DaemonError::Remote(msg.trim_start().to_string()))
+        } else {
+            Err(DaemonError::Protocol(format!("unparseable reply {line:?}")))
+        }
+    }
+
+    fn round_trip(&mut self, request: &Request) -> DaemonResult<String> {
+        self.send_line(request)?;
+        self.read_reply()
+    }
+
+    /// Attaches this connection to a tenant namespace.
+    pub fn open(&mut self, tenant: &str) -> DaemonResult<()> {
+        self.round_trip(&Request::Open { tenant: tenant.to_string() }).map(|_| ())
+    }
+
+    /// Starts a write session for a new backup stream.
+    pub fn begin(&mut self, label: &str) -> DaemonResult<()> {
+        self.round_trip(&Request::Begin { label: label.to_string() }).map(|_| ())
+    }
+
+    /// Stages one file in the open session.
+    pub fn send_file(&mut self, path: &str, data: &[u8]) -> DaemonResult<()> {
+        self.send_line(&Request::File { len: data.len() as u64, path: path.to_string() })?;
+        self.reader.get_mut().write_all(data)?;
+        self.read_reply().map(|_| ())
+    }
+
+    /// Commits the open session.
+    pub fn commit(&mut self) -> DaemonResult<CommitSummary> {
+        let reply = self.round_trip(&Request::Commit)?;
+        let mut fields = reply.split_ascii_whitespace().map(|f| f.parse::<u64>());
+        match (fields.next(), fields.next(), fields.next()) {
+            (Some(Ok(files)), Some(Ok(input_bytes)), Some(Ok(grown_bytes))) => {
+                Ok(CommitSummary { files, input_bytes, grown_bytes })
+            }
+            _ => Err(DaemonError::Protocol(format!("bad COMMIT reply {reply:?}"))),
+        }
+    }
+
+    /// Aborts the open session.
+    pub fn abort(&mut self) -> DaemonResult<()> {
+        self.round_trip(&Request::Abort).map(|_| ())
+    }
+
+    /// Lists the tenant's recipes.
+    pub fn ls(&mut self) -> DaemonResult<Vec<String>> {
+        let reply = self.round_trip(&Request::Ls)?;
+        Ok(reply.split_ascii_whitespace().map(str::to_string).collect())
+    }
+
+    /// Restores one recipe (`label/path`) to bytes.
+    pub fn restore(&mut self, name: &str) -> DaemonResult<Vec<u8>> {
+        let reply = self.round_trip(&Request::Restore { name: name.to_string() })?;
+        let len: u64 = reply
+            .parse()
+            .map_err(|_| DaemonError::Protocol(format!("bad RESTORE length {reply:?}")))?;
+        let mut data = vec![0u8; len as usize];
+        self.reader.read_exact(&mut data)?;
+        Ok(data)
+    }
+
+    /// Probes which of `hashes` (hex) the store already has.
+    pub fn have(&mut self, hashes: &[String]) -> DaemonResult<Vec<bool>> {
+        let reply = self.round_trip(&Request::Have { hashes: hashes.to_vec() })?;
+        Ok(reply.chars().map(|c| c == '1').collect())
+    }
+
+    /// One-line JSON statistics from the server.
+    pub fn stats(&mut self) -> DaemonResult<String> {
+        self.round_trip(&Request::Stats)
+    }
+
+    /// Runs protected garbage collection; returns the server's summary
+    /// line (`deleted protected bytes_freed`).
+    pub fn gc(&mut self) -> DaemonResult<String> {
+        self.round_trip(&Request::Gc)
+    }
+
+    /// Runs the integrity checker; `Ok` means healthy.
+    pub fn fsck(&mut self) -> DaemonResult<String> {
+        self.round_trip(&Request::Fsck)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> DaemonResult<()> {
+        self.round_trip(&Request::Ping).map(|_| ())
+    }
+
+    /// Asks the daemon to stop (drains handlers, persists state).
+    pub fn shutdown(&mut self) -> DaemonResult<()> {
+        self.round_trip(&Request::Shutdown).map(|_| ())
+    }
+
+    /// Backs up a directory as one session: files are read in sorted
+    /// order, staged under their `/`-separated relative paths, and
+    /// committed. The session label is `label`; a failure aborts the
+    /// session before returning.
+    pub fn backup_dir(&mut self, dir: &Path, label: &str) -> DaemonResult<CommitSummary> {
+        let mut paths: Vec<std::path::PathBuf> = Vec::new();
+        collect_files(dir, &mut paths)?;
+        paths.sort();
+        if paths.is_empty() {
+            return Err(DaemonError::Protocol(format!("{} contains no files", dir.display())));
+        }
+        self.begin(label)?;
+        for path in paths {
+            let rel = path.strip_prefix(dir).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let data = match std::fs::read(&path) {
+                Ok(data) => data,
+                Err(e) => {
+                    let _ = self.abort();
+                    return Err(e.into());
+                }
+            };
+            if let Err(e) = self.send_file(&rel, &data) {
+                let _ = self.abort();
+                return Err(e);
+            }
+        }
+        self.commit()
+    }
+}
+
+fn collect_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_files(&path, out)?;
+        } else if ty.is_file() {
+            out.push(path);
+        } // symlinks and specials are skipped
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! The daemon's error type.
+
+use mhd_core::EngineError;
+use mhd_store::StoreError;
+
+/// Everything a daemon or client operation can fail with.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Storage substrate failure.
+    Store(StoreError),
+    /// Dedup engine failure.
+    Engine(EngineError),
+    /// Socket / filesystem I/O failure.
+    Io(std::io::Error),
+    /// Malformed or out-of-sequence protocol traffic (bad command, bad
+    /// tenant name, oversized payload, `FILE` before `BEGIN`, …).
+    Protocol(String),
+    /// The server answered `ERR <message>` (client side).
+    Remote(String),
+    /// Session-state persistence or recovery failure.
+    State(String),
+}
+
+/// Result alias for daemon operations.
+pub type DaemonResult<T> = Result<T, DaemonError>;
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Store(e) => write!(f, "storage error: {e}"),
+            DaemonError::Engine(e) => write!(f, "engine error: {e}"),
+            DaemonError::Io(e) => write!(f, "i/o error: {e}"),
+            DaemonError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            DaemonError::Remote(msg) => write!(f, "server error: {msg}"),
+            DaemonError::State(msg) => write!(f, "session state error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Store(e) => Some(e),
+            DaemonError::Engine(e) => Some(e),
+            DaemonError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for DaemonError {
+    fn from(e: StoreError) -> Self {
+        DaemonError::Store(e)
+    }
+}
+
+impl From<EngineError> for DaemonError {
+    fn from(e: EngineError) -> Self {
+        DaemonError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}

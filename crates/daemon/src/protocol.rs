@@ -1,0 +1,265 @@
+//! The line-delimited wire protocol between `mhd client` and `mhd serve`.
+//!
+//! One UTF-8 line per request, space-separated fields, over a Unix domain
+//! socket. `FILE` and (in responses) `RESTORE` are followed by exactly
+//! `len` raw payload bytes. Responses are `OK [fields…]` or
+//! `ERR <message>`. One connection talks to one tenant at a time and
+//! holds at most one write session; the full session state machine is
+//! documented in DESIGN.md §10.
+//!
+//! ```text
+//! OPEN <tenant>            attach to a tenant namespace
+//! BEGIN <label>            start a write session (one backup stream)
+//! FILE <len> <path>        stage one file (len raw bytes follow)
+//! COMMIT                   dedup + flush + persist the staged snapshot
+//! ABORT                    discard the staged snapshot
+//! LS                       list the tenant's recipes
+//! RESTORE <name>           read back one recipe (label/path)
+//! HAVE <hex> [<hex>…]      shared-index membership probe (no lock)
+//! STATS                    one-line JSON store/daemon statistics
+//! GC                       protected mark-sweep collection
+//! FSCK                     structural integrity walk
+//! PING                     liveness probe
+//! SHUTDOWN                 stop accepting; drain and exit
+//! ```
+//!
+//! Tenants and labels are restricted to `[A-Za-z0-9.-]` (no `_`, no
+//! `/`): the store flattens `/` to `_` in object names
+//! ([`mhd_store::safe_name`]), so allowing either character in a tenant
+//! name would let `a_b` and `a/b` collide into one namespace prefix.
+//! Client file paths allow `[A-Za-z0-9._/-]` segments with no `..`.
+
+use crate::error::{DaemonError, DaemonResult};
+
+/// Longest accepted protocol line, in bytes. Guards the server against
+/// unframed garbage on the socket.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Largest accepted single `FILE` payload, in bytes.
+pub const MAX_FILE_BYTES: u64 = 256 << 20;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Attach this connection to a tenant namespace.
+    Open {
+        /// Tenant name (validated by `valid_tenant`).
+        tenant: String,
+    },
+    /// Start a write session under the attached tenant.
+    Begin {
+        /// Backup-stream label, unique per tenant (validated like a
+        /// tenant name).
+        label: String,
+    },
+    /// Stage one file; `len` raw bytes follow the newline.
+    File {
+        /// Payload length in bytes.
+        len: u64,
+        /// Tenant-relative file path (validated by `valid_path`).
+        path: String,
+    },
+    /// Commit the staged snapshot atomically.
+    Commit,
+    /// Discard the staged snapshot.
+    Abort,
+    /// List the tenant's recipes.
+    Ls,
+    /// Restore one recipe by tenant-relative name (`label/path`).
+    Restore {
+        /// Recipe name, in listed (sanitised) or slashed form.
+        name: String,
+    },
+    /// Probe the shared hook index for hex-encoded chunk hashes.
+    Have {
+        /// Hashes to probe, hex-encoded.
+        hashes: Vec<String>,
+    },
+    /// One-line JSON statistics.
+    Stats,
+    /// Run protected garbage collection.
+    Gc,
+    /// Run the structural integrity checker.
+    Fsck,
+    /// Liveness probe.
+    Ping,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// Whether `s` is an acceptable tenant or label name: nonempty, at most
+/// 64 bytes, `[A-Za-z0-9.-]` only, and not entirely dots.
+pub fn valid_tenant(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-')
+        && !s.bytes().all(|b| b == b'.')
+}
+
+/// Whether `s` is an acceptable client file path: `/`-separated segments
+/// of `[A-Za-z0-9._-]`, each nonempty and not `.`/`..`, at most 512
+/// bytes, no leading `/`.
+pub fn valid_path(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 512
+        && s.split('/').all(|seg| {
+            !seg.is_empty()
+                && seg != "."
+                && seg != ".."
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+        })
+}
+
+impl Request {
+    /// Parses one request line (without its trailing newline).
+    pub fn parse(line: &str) -> DaemonResult<Request> {
+        let err = |msg: String| Err(DaemonError::Protocol(msg));
+        let mut fields = line.split_ascii_whitespace();
+        let Some(verb) = fields.next() else {
+            return err("empty request line".into());
+        };
+        let rest: Vec<&str> = fields.collect();
+        let arity = |want: usize| -> DaemonResult<()> {
+            if rest.len() == want {
+                Ok(())
+            } else {
+                Err(DaemonError::Protocol(format!(
+                    "{verb} takes {want} argument(s), got {}",
+                    rest.len()
+                )))
+            }
+        };
+        match verb {
+            "OPEN" => {
+                arity(1)?;
+                if !valid_tenant(rest[0]) {
+                    return err(format!("invalid tenant name {:?} (use [A-Za-z0-9.-])", rest[0]));
+                }
+                Ok(Request::Open { tenant: rest[0].to_string() })
+            }
+            "BEGIN" => {
+                arity(1)?;
+                if !valid_tenant(rest[0]) {
+                    return err(format!("invalid label {:?} (use [A-Za-z0-9.-])", rest[0]));
+                }
+                Ok(Request::Begin { label: rest[0].to_string() })
+            }
+            "FILE" => {
+                arity(2)?;
+                let len: u64 = rest[0]
+                    .parse()
+                    .map_err(|_| DaemonError::Protocol(format!("bad FILE length {:?}", rest[0])))?;
+                if len > MAX_FILE_BYTES {
+                    return err(format!("FILE payload {len} exceeds {MAX_FILE_BYTES} bytes"));
+                }
+                if !valid_path(rest[1]) {
+                    return err(format!("invalid file path {:?}", rest[1]));
+                }
+                Ok(Request::File { len, path: rest[1].to_string() })
+            }
+            "COMMIT" => arity(0).map(|_| Request::Commit),
+            "ABORT" => arity(0).map(|_| Request::Abort),
+            "LS" => arity(0).map(|_| Request::Ls),
+            "RESTORE" => {
+                arity(1)?;
+                if rest[0].len() > 1024 {
+                    return err("RESTORE name too long".into());
+                }
+                Ok(Request::Restore { name: rest[0].to_string() })
+            }
+            "HAVE" => {
+                if rest.is_empty() || rest.len() > 64 {
+                    return err("HAVE takes 1..=64 hex hashes".into());
+                }
+                Ok(Request::Have { hashes: rest.iter().map(|s| s.to_string()).collect() })
+            }
+            "STATS" => arity(0).map(|_| Request::Stats),
+            "GC" => arity(0).map(|_| Request::Gc),
+            "FSCK" => arity(0).map(|_| Request::Fsck),
+            "PING" => arity(0).map(|_| Request::Ping),
+            "SHUTDOWN" => arity(0).map(|_| Request::Shutdown),
+            other => err(format!("unknown command {other:?}")),
+        }
+    }
+
+    /// Renders the request as its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Open { tenant } => format!("OPEN {tenant}"),
+            Request::Begin { label } => format!("BEGIN {label}"),
+            Request::File { len, path } => format!("FILE {len} {path}"),
+            Request::Commit => "COMMIT".into(),
+            Request::Abort => "ABORT".into(),
+            Request::Ls => "LS".into(),
+            Request::Restore { name } => format!("RESTORE {name}"),
+            Request::Have { hashes } => format!("HAVE {}", hashes.join(" ")),
+            Request::Stats => "STATS".into(),
+            Request::Gc => "GC".into(),
+            Request::Fsck => "FSCK".into(),
+            Request::Ping => "PING".into(),
+            Request::Shutdown => "SHUTDOWN".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Open { tenant: "alice".into() },
+            Request::Begin { label: "day-0".into() },
+            Request::File { len: 42, path: "images/a.img".into() },
+            Request::Commit,
+            Request::Abort,
+            Request::Ls,
+            Request::Restore { name: "day-0/images/a.img".into() },
+            Request::Have { hashes: vec!["aa".into(), "bb".into()] },
+            Request::Stats,
+            Request::Gc,
+            Request::Fsck,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for case in cases {
+            assert_eq!(Request::parse(&case.encode()).unwrap(), case, "{case:?}");
+        }
+    }
+
+    #[test]
+    fn tenant_charset_excludes_separator_collisions() {
+        assert!(valid_tenant("alice"));
+        assert!(valid_tenant("pc-7.example"));
+        // `_` and `/` are both mapped to `_` by the store's safe_name, so
+        // neither may appear in a namespace component.
+        assert!(!valid_tenant("a_b"));
+        assert!(!valid_tenant("a/b"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant(".."));
+        assert!(!valid_tenant(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn path_validation_blocks_traversal() {
+        assert!(valid_path("a.img"));
+        assert!(valid_path("dir/sub/file_1.bin"));
+        assert!(!valid_path("/etc/passwd"));
+        assert!(!valid_path("a/../b"));
+        assert!(!valid_path("a//b"));
+        assert!(!valid_path("a b"));
+        assert!(!valid_path(""));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in ["", "NOPE", "OPEN", "OPEN a b", "FILE x y", "FILE 10 /abs", "HAVE"] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        let too_big = format!("FILE {} a", MAX_FILE_BYTES + 1);
+        assert!(Request::parse(&too_big).is_err());
+    }
+}

@@ -1,0 +1,889 @@
+//! The shared datastore: one engine, many tenants, crash-safe sessions.
+//!
+//! [`SharedStore`] owns the single `MhdEngine` every connection writes
+//! through, plus the pieces that make concurrent use safe:
+//!
+//! * a [`SessionRegistry`] so GC never sweeps what an open session might
+//!   still reference (watermark protection),
+//! * the [`SharedHookIndex`] (kept coherent by [`IndexingBackend`] on the
+//!   backend write path),
+//! * per-session **intent records** under `daemon/wip/`, the daemon-level
+//!   reuse of the store's tmp+rename discipline: a record is written
+//!   atomically at `BEGIN` and removed only after the commit is fully
+//!   persisted, so the next open knows exactly which streams were torn.
+//!
+//! # On-disk layout
+//!
+//! A daemon store is a superset of a CLI store — `mhd fsck`, `mhd stats`
+//! and `mhd ls` work on it unchanged when the daemon is stopped:
+//!
+//! ```text
+//! store/
+//!   disk_chunks/  manifests/  hooks/  file_manifests/   (the four namespaces)
+//!   session/state.json   engine state  = the durable commit watermark
+//!   session/meta.json    ecs / sd / stream count
+//!   daemon/wip/<tenant>_<label>   intent record per in-flight session
+//! ```
+//!
+//! # Crash recovery
+//!
+//! `state.json` is rewritten atomically after every commit, so its id
+//! counters are the durable commit watermark: any object on disk with an
+//! id **at or above** them belongs to a commit that never acknowledged.
+//! Opening the store rolls those forward-orphans back with *raw* backend
+//! deletes (the ledger never accounted for them), in reverse
+//! `FLUSH_ORDER`: first the recipes of every stream named by a `wip`
+//! record, then above-watermark Hooks, Manifests and DiskChunks. A store
+//! with no `state.json` at all has never committed, so the floor is zero
+//! and the wipe is total — correct by the same rule.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mhd_core::gc::GcReport;
+use mhd_core::{Deduplicator, EngineConfig, MhdEngine, MhdState};
+use mhd_hash::FxHashSet;
+use mhd_store::{safe_name, Backend, BatchedDirBackend, FileKind, IoConfig};
+use mhd_workload::{FileEntry, Snapshot};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DaemonError, DaemonResult};
+use crate::index::{IndexingBackend, SharedHookIndex};
+use crate::protocol::{valid_path, valid_tenant, MAX_FILE_BYTES};
+use crate::registry::SessionRegistry;
+
+/// The backend stack every daemon store runs on.
+type DaemonBackend = IndexingBackend<BatchedDirBackend>;
+
+/// Tuning for [`SharedStore::open`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Expected chunk size in bytes (new stores only; an existing store
+    /// keeps its original chunking).
+    pub ecs: usize,
+    /// Slices per DiskChunk / Manifest (`SD`; new stores only).
+    pub sd: usize,
+    /// Batched-backend I/O tuning (threads, batch sizes, durability).
+    pub io: IoConfig,
+    /// Shard count for the in-memory hook index.
+    pub index_shards: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig { ecs: 4096, sd: 16, io: IoConfig::default(), index_shards: 8 }
+    }
+}
+
+/// Mirrors the CLI's `session/meta.json` so daemon and CLI stores are
+/// interchangeable on disk.
+#[derive(Serialize, Deserialize)]
+struct StoreMeta {
+    ecs: usize,
+    sd: usize,
+    streams: u64,
+}
+
+/// What the open-time recovery pass did (backend pass + daemon rollback).
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct RecoverySummary {
+    /// Torn tmp files removed by the backend's own recovery.
+    pub tmp_files_removed: u64,
+    /// Write intents resolved by the backend's own recovery.
+    pub intents_resolved: u64,
+    /// Torn sessions rolled back from `daemon/wip` intent records.
+    pub sessions_rolled_back: u64,
+    /// Recipes (FileManifests) of torn sessions deleted.
+    pub recipes_rolled_back: u64,
+    /// Above-watermark DiskChunks deleted.
+    pub chunks_rolled_back: u64,
+    /// Above-watermark Manifests deleted.
+    pub manifests_rolled_back: u64,
+    /// Hooks pointing above the manifest watermark deleted.
+    pub hooks_rolled_back: u64,
+}
+
+impl RecoverySummary {
+    /// Whether the store was already consistent.
+    pub fn is_clean(&self) -> bool {
+        self.sessions_rolled_back == 0
+            && self.recipes_rolled_back == 0
+            && self.chunks_rolled_back == 0
+            && self.manifests_rolled_back == 0
+            && self.hooks_rolled_back == 0
+    }
+}
+
+/// Result of a committed write session.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommitReport {
+    /// Files in the committed snapshot.
+    pub files: u64,
+    /// Raw input bytes deduplicated.
+    pub input_bytes: u64,
+    /// Bytes the store actually grew by (data + metadata).
+    pub grown_bytes: u64,
+}
+
+/// One-line statistics snapshot (`STATS`).
+#[derive(Debug, Clone, Serialize)]
+pub struct DaemonStats {
+    /// Cumulative input bytes over the store's life.
+    pub input_bytes: u64,
+    /// Bytes eliminated as duplicates.
+    pub dup_bytes: u64,
+    /// Files deduplicated.
+    pub files: u64,
+    /// Chunks stored.
+    pub chunks_stored: u64,
+    /// Total output (data + metadata) bytes on disk.
+    pub stored_bytes: u64,
+    /// Streams committed.
+    pub streams: u64,
+    /// Write sessions currently open.
+    pub active_sessions: usize,
+    /// `tenant/label` of each open session, sorted.
+    pub active_streams: Vec<String>,
+    /// Hook-index entries.
+    pub index_entries: usize,
+    /// Hook-index entries per shard.
+    pub index_occupancy: Vec<usize>,
+}
+
+/// An in-progress write session: files staged in memory, nothing in the
+/// store until [`SharedStore::commit`].
+pub struct WriteSession {
+    sid: u64,
+    tenant: String,
+    label: String,
+    files: Vec<FileEntry>,
+    staged_bytes: u64,
+    seen: FxHashSet<String>,
+}
+
+impl WriteSession {
+    /// Session id (unique within this daemon process).
+    pub fn id(&self) -> u64 {
+        self.sid
+    }
+
+    /// Owning tenant.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Stream label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The `tenant/label` stream prefix this session will commit under.
+    pub fn prefix(&self) -> String {
+        format!("{}/{}", self.tenant, self.label)
+    }
+
+    /// Files staged so far.
+    pub fn staged_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Bytes staged so far.
+    pub fn staged_bytes(&self) -> u64 {
+        self.staged_bytes
+    }
+
+    /// Stages one file for commit. Validates the path, rejects
+    /// duplicates and enforces the per-file size cap; the store is not
+    /// touched.
+    pub fn stage(&mut self, path: &str, data: &[u8]) -> DaemonResult<()> {
+        if !valid_path(path) {
+            return Err(DaemonError::Protocol(format!("invalid file path {path:?}")));
+        }
+        if data.len() as u64 > MAX_FILE_BYTES {
+            return Err(DaemonError::Protocol(format!(
+                "file {path:?} exceeds {MAX_FILE_BYTES} bytes"
+            )));
+        }
+        if !self.seen.insert(path.to_string()) {
+            return Err(DaemonError::Protocol(format!("duplicate file path {path:?}")));
+        }
+        self.files.push(FileEntry {
+            path: format!("{}/{}/{path}", self.tenant, self.label),
+            data: Bytes::copy_from_slice(data),
+        });
+        self.staged_bytes += data.len() as u64;
+        Ok(())
+    }
+}
+
+struct StoreInner {
+    engine: MhdEngine<DaemonBackend>,
+    streams: u64,
+}
+
+/// The one store all sessions share. Cheap to clone via `Arc`; all
+/// mutating methods serialise on the internal engine lock, while
+/// [`have`](SharedStore::have) and [`stats`](SharedStore::stats) read the
+/// shared index and registry without it.
+pub struct SharedStore {
+    inner: Mutex<StoreInner>,
+    index: Arc<SharedHookIndex>,
+    registry: SessionRegistry,
+    root: PathBuf,
+    next_session: AtomicU64,
+    recovery: RecoverySummary,
+    ecs: usize,
+    sd: usize,
+}
+
+/// Writes `data` through a hidden tmp sibling + atomic rename so state
+/// files can never be observed half-written.
+fn write_atomic(path: &Path, data: &[u8]) -> DaemonResult<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| DaemonError::State(format!("{}: not a file path", path.display())))?;
+    let tmp = path.with_file_name(format!(".{file_name}.tmp"));
+    std::fs::write(&tmp, data)
+        .map_err(|e| DaemonError::State(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| DaemonError::State(format!("rename to {}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// Contents of one `daemon/wip/` intent record.
+#[derive(Serialize, Deserialize)]
+struct WipRecord {
+    tenant: String,
+    label: String,
+}
+
+impl SharedStore {
+    fn state_path(root: &Path) -> PathBuf {
+        root.join("session/state.json")
+    }
+
+    fn meta_path(root: &Path) -> PathBuf {
+        root.join("session/meta.json")
+    }
+
+    fn wip_dir(root: &Path) -> PathBuf {
+        root.join("daemon/wip")
+    }
+
+    fn wip_path(&self, tenant: &str, label: &str) -> PathBuf {
+        // Tenant/label charsets exclude `_`, so this name is collision-free.
+        Self::wip_dir(&self.root).join(safe_name(&format!("{tenant}/{label}")))
+    }
+
+    /// Opens (or initialises) the shared store at `root`, running the
+    /// backend's crash-recovery pass and the daemon's session rollback
+    /// before anything reads a byte. See the module docs for the
+    /// recovery rules.
+    pub fn open(root: &Path, config: DaemonConfig) -> DaemonResult<SharedStore> {
+        for dir in [root.join("session"), Self::wip_dir(root)] {
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| DaemonError::State(format!("create {}: {e}", dir.display())))?;
+        }
+
+        let meta_path = Self::meta_path(root);
+        let meta: StoreMeta = if meta_path.exists() {
+            let data = std::fs::read(&meta_path)
+                .map_err(|e| DaemonError::State(format!("read {}: {e}", meta_path.display())))?;
+            serde_json::from_slice(&data)
+                .map_err(|e| DaemonError::State(format!("parse {}: {e}", meta_path.display())))?
+        } else {
+            StoreMeta { ecs: config.ecs, sd: config.sd, streams: 0 }
+        };
+
+        let mut backend = BatchedDirBackend::create_with(root, config.io)?;
+        let backend_recovery = backend.recover()?;
+
+        let index = Arc::new(SharedHookIndex::new(config.index_shards));
+        let mut backend = IndexingBackend::new(backend, index.clone());
+
+        // The persisted engine state is the durable commit watermark.
+        let state_path = Self::state_path(root);
+        let state: Option<MhdState> = if state_path.exists() {
+            let data = std::fs::read(&state_path)
+                .map_err(|e| DaemonError::State(format!("read {}: {e}", state_path.display())))?;
+            Some(
+                serde_json::from_slice(&data).map_err(|e| {
+                    DaemonError::State(format!("parse {}: {e}", state_path.display()))
+                })?,
+            )
+        } else {
+            None
+        };
+        let (chunk_floor, manifest_floor) = state
+            .as_ref()
+            .map_or((0, 0), |s| (s.substrate.next_chunk_id, s.substrate.next_manifest_id));
+
+        let mut recovery = RecoverySummary {
+            tmp_files_removed: backend_recovery.tmp_files_removed as u64,
+            intents_resolved: backend_recovery.intents_resolved as u64,
+            ..RecoverySummary::default()
+        };
+        Self::rollback_torn_sessions(
+            root,
+            &mut backend,
+            chunk_floor,
+            manifest_floor,
+            &mut recovery,
+        )?;
+
+        let mut engine = MhdEngine::new(backend, EngineConfig::new(meta.ecs, meta.sd))?;
+        if let Some(state) = state {
+            engine.import_state(state)?;
+        }
+        // Belt and braces: never allocate below anything still on disk.
+        engine.substrate_mut().ensure_id_floor(chunk_floor, manifest_floor);
+        let loaded = engine.substrate_mut().backend_mut().populate_index();
+        mhd_obs::counter!("daemon.index_preloaded").add(loaded as u64);
+
+        let store = SharedStore {
+            inner: Mutex::new(StoreInner { engine, streams: meta.streams }),
+            index,
+            registry: SessionRegistry::new(),
+            root: root.to_path_buf(),
+            next_session: AtomicU64::new(1),
+            recovery,
+            ecs: meta.ecs,
+            sd: meta.sd,
+        };
+        // Persist immediately: a brand-new store gets its watermark files,
+        // a recovered one gets a clean baseline.
+        store.persist()?;
+        Ok(store)
+    }
+
+    /// Deletes, with **raw** backend operations, every object a torn
+    /// session left above the durable watermark. Raw deletes are
+    /// deliberate: the persisted ledger never accounted for these
+    /// objects, so substrate-level deletes would corrupt its counters.
+    fn rollback_torn_sessions(
+        root: &Path,
+        backend: &mut DaemonBackend,
+        chunk_floor: u64,
+        manifest_floor: u64,
+        recovery: &mut RecoverySummary,
+    ) -> DaemonResult<()> {
+        // 1. Recipes of every stream named by a wip intent record. These
+        //    go first (reverse FLUSH_ORDER): a recipe must never outlive
+        //    the chunks it references.
+        let wip_dir = Self::wip_dir(root);
+        let mut wip_files: Vec<PathBuf> = Vec::new();
+        let entries = std::fs::read_dir(&wip_dir)
+            .map_err(|e| DaemonError::State(format!("read {}: {e}", wip_dir.display())))?;
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| DaemonError::State(format!("read {}: {e}", wip_dir.display())))?;
+            wip_files.push(entry.path());
+        }
+        for wip in &wip_files {
+            let data = std::fs::read(wip)
+                .map_err(|e| DaemonError::State(format!("read {}: {e}", wip.display())))?;
+            let record: WipRecord = serde_json::from_slice(&data)
+                .map_err(|e| DaemonError::State(format!("parse {}: {e}", wip.display())))?;
+            let prefix = safe_name(&format!("{}/{}/", record.tenant, record.label));
+            for name in backend.list(FileKind::FileManifest) {
+                if name.starts_with(&prefix) {
+                    backend.delete(FileKind::FileManifest, &name)?;
+                    recovery.recipes_rolled_back += 1;
+                }
+            }
+            recovery.sessions_rolled_back += 1;
+        }
+
+        // 2. Hooks pointing at rolled-back manifests (payload first 8
+        //    bytes, little endian, is the target ManifestId).
+        for name in backend.list(FileKind::Hook) {
+            let payload = backend.get(FileKind::Hook, &name)?;
+            let target = payload.get(..8).and_then(|raw| {
+                let raw: Result<[u8; 8], _> = raw.try_into();
+                raw.ok().map(u64::from_le_bytes)
+            });
+            if target.is_none_or(|mid| mid >= manifest_floor) {
+                // lint: allow(immutability): rollback of hooks above the commit watermark
+                backend.delete(FileKind::Hook, &name)?;
+                recovery.hooks_rolled_back += 1;
+            }
+        }
+
+        // 3. Above-watermark Manifests, then DiskChunks (ids are the
+        //    object names, zero-padded hex).
+        for (kind, floor, count) in [
+            (FileKind::Manifest, manifest_floor, &mut recovery.manifests_rolled_back),
+            (FileKind::DiskChunk, chunk_floor, &mut recovery.chunks_rolled_back),
+        ] {
+            for name in backend.list(kind) {
+                if u64::from_str_radix(&name, 16).ok().is_none_or(|id| id >= floor) {
+                    backend.delete(kind, &name)?;
+                    *count += 1;
+                }
+            }
+        }
+        backend.flush()?;
+
+        // 4. Only now that the rollback is durable, retire the intent
+        //    records.
+        for wip in &wip_files {
+            std::fs::remove_file(wip)
+                .map_err(|e| DaemonError::State(format!("remove {}: {e}", wip.display())))?;
+        }
+        Ok(())
+    }
+
+    /// What the open-time recovery pass found and did.
+    pub fn recovery(&self) -> &RecoverySummary {
+        &self.recovery
+    }
+
+    /// The shared hook index (lock-free `HAVE` probes).
+    pub fn index(&self) -> &Arc<SharedHookIndex> {
+        &self.index
+    }
+
+    /// The active-session registry.
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// Store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Flushes engine state and rewrites the watermark files atomically.
+    pub fn persist(&self) -> DaemonResult<()> {
+        let mut inner = self.inner.lock();
+        let _ = inner.engine.finish()?;
+        Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner)
+    }
+
+    fn persist_locked(
+        root: &Path,
+        ecs: usize,
+        sd: usize,
+        inner: &mut StoreInner,
+    ) -> DaemonResult<()> {
+        let state = inner.engine.export_state();
+        let state_json = serde_json::to_vec(&state)
+            .map_err(|e| DaemonError::State(format!("encode state: {e}")))?;
+        write_atomic(&Self::state_path(root), &state_json)?;
+        let meta = StoreMeta { ecs, sd, streams: inner.streams };
+        let meta_json = serde_json::to_vec(&meta)
+            .map_err(|e| DaemonError::State(format!("encode meta: {e}")))?;
+        write_atomic(&Self::meta_path(root), &meta_json)?;
+        Ok(())
+    }
+
+    /// Opens a write session for `tenant`/`label`: captures the GC
+    /// watermark, takes the stream lease and writes the `wip` intent
+    /// record. Fails if the stream already exists or is being written by
+    /// another session.
+    pub fn begin_session(&self, tenant: &str, label: &str) -> DaemonResult<WriteSession> {
+        if !valid_tenant(tenant) {
+            return Err(DaemonError::Protocol(format!("invalid tenant name {tenant:?}")));
+        }
+        if !valid_tenant(label) {
+            return Err(DaemonError::Protocol(format!("invalid label {label:?}")));
+        }
+        let prefix = format!("{tenant}/{label}");
+        let recipe_prefix = safe_name(&format!("{prefix}/"));
+
+        // The existence check, watermark capture and registration happen
+        // under the engine lock so no commit can slide between them.
+        let mut inner = self.inner.lock();
+        if inner
+            .engine
+            .substrate_mut()
+            .list_file_manifests()
+            .iter()
+            .any(|n| n.starts_with(&recipe_prefix))
+        {
+            return Err(DaemonError::Protocol(format!("stream {prefix:?} already exists")));
+        }
+        let watermark = inner.engine.substrate().chunk_id_watermark();
+        let sid = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.registry.register(sid, watermark, &prefix).map_err(DaemonError::Protocol)?;
+        drop(inner);
+
+        let record = WipRecord { tenant: tenant.to_string(), label: label.to_string() };
+        let encoded = serde_json::to_vec(&record)
+            .map_err(|e| DaemonError::State(format!("encode wip record: {e}")))?;
+        if let Err(e) = write_atomic(&self.wip_path(tenant, label), &encoded) {
+            self.registry.deregister(sid);
+            return Err(e);
+        }
+
+        mhd_obs::counter!("daemon.sessions_opened").inc();
+        Ok(WriteSession {
+            sid,
+            tenant: tenant.to_string(),
+            label: label.to_string(),
+            files: Vec::new(),
+            staged_bytes: 0,
+            seen: FxHashSet::default(),
+        })
+    }
+
+    /// Commits a staged session: runs the dedup pipeline, flushes in
+    /// `FLUSH_ORDER`, persists the watermark, and only then retires the
+    /// intent record and releases the stream lease. A crash anywhere
+    /// before the intent record is removed is rolled back at the next
+    /// open.
+    pub fn commit(&self, session: WriteSession) -> DaemonResult<CommitReport> {
+        if session.files.is_empty() {
+            self.abort(session);
+            return Err(DaemonError::Protocol("session has no staged files".into()));
+        }
+        let _scope = mhd_obs::scope!("tenant={}", session.tenant);
+        let files = session.files.len() as u64;
+        let input_bytes = session.staged_bytes;
+        let snapshot = Snapshot { machine: 0, day: 0, files: session.files };
+
+        let mut inner = self.inner.lock();
+        let before = inner.engine.substrate().ledger().total_output_bytes();
+        if let Err(e) = inner
+            .engine
+            .process_snapshot(&snapshot)
+            .map_err(DaemonError::Engine)
+            .and_then(|()| inner.engine.finish().map(|_| ()).map_err(DaemonError::Engine))
+        {
+            // Best effort: drop whatever recipes landed so the stream name
+            // is reusable; unreferenced chunks wait for GC.
+            let recipe_prefix = safe_name(&format!("{}/{}/", session.tenant, session.label));
+            let _ = mhd_core::gc::delete_stream(inner.engine.substrate_mut(), &recipe_prefix);
+            let _ = Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner);
+            drop(inner);
+            self.cleanup_session(&session.tenant, &session.label, session.sid);
+            return Err(e);
+        }
+        inner.streams += 1;
+        Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner)?;
+        let grown_bytes =
+            inner.engine.substrate().ledger().total_output_bytes().saturating_sub(before);
+        drop(inner);
+
+        // Commit is durable; only now retire the intent record. A crash
+        // between persist and this point re-deletes nothing at recovery
+        // (everything is below the new watermark) except the recipes —
+        // which is exactly the unacknowledged-commit semantics we want.
+        self.cleanup_session(&session.tenant, &session.label, session.sid);
+        mhd_obs::counter!("daemon.commits").inc();
+        Ok(CommitReport { files, input_bytes, grown_bytes })
+    }
+
+    /// Discards a staged session. Nothing reached the store, so this only
+    /// retires the intent record and releases the lease.
+    pub fn abort(&self, session: WriteSession) {
+        self.cleanup_session(&session.tenant, &session.label, session.sid);
+        mhd_obs::counter!("daemon.aborts").inc();
+    }
+
+    fn cleanup_session(&self, tenant: &str, label: &str, sid: u64) {
+        // Removal failure is not actionable here: a leftover record only
+        // causes a benign re-rollback of an already-clean stream.
+        let _ = std::fs::remove_file(self.wip_path(tenant, label));
+        self.registry.deregister(sid);
+    }
+
+    /// Restores one file. `name` is tenant-relative (`label/path`, as
+    /// listed by [`list`](SharedStore::list)).
+    pub fn restore(&self, tenant: &str, name: &str) -> DaemonResult<Vec<u8>> {
+        if !valid_tenant(tenant) {
+            return Err(DaemonError::Protocol(format!("invalid tenant name {tenant:?}")));
+        }
+        let full = format!("{tenant}/{name}");
+        let mut inner = self.inner.lock();
+        Ok(mhd_core::restore::restore_file(inner.engine.substrate_mut(), &full)?)
+    }
+
+    /// Lists `tenant`'s recipes, tenant prefix stripped.
+    pub fn list(&self, tenant: &str) -> DaemonResult<Vec<String>> {
+        if !valid_tenant(tenant) {
+            return Err(DaemonError::Protocol(format!("invalid tenant name {tenant:?}")));
+        }
+        let prefix = safe_name(&format!("{tenant}/"));
+        let mut inner = self.inner.lock();
+        Ok(inner
+            .engine
+            .substrate_mut()
+            .list_file_manifests()
+            .into_iter()
+            .filter_map(|n| n.strip_prefix(&prefix).map(str::to_string))
+            .collect())
+    }
+
+    /// Which of `hashes` (hex) the store has hooks for — answered from
+    /// the shared index, without the engine lock.
+    pub fn have(&self, hashes: &[String]) -> Vec<bool> {
+        hashes
+            .iter()
+            .map(|hex| {
+                mhd_hash::ChunkHash::from_hex(hex).map(|h| self.index.contains(&h)).unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Protected mark-sweep garbage collection: sweeps only below
+    /// `min(current watermark, every active session's watermark)`, so an
+    /// in-progress session can never lose objects it wrote. Safe to call
+    /// with sessions open.
+    pub fn gc(&self) -> DaemonResult<GcReport> {
+        let mut inner = self.inner.lock();
+        // Drain the manifest cache first: GC must not race a dirty
+        // write-back, and a cold cache can't resurrect a swept manifest.
+        let _ = inner.engine.finish()?;
+        let watermark = inner.engine.substrate().chunk_id_watermark();
+        let cutoff = self.registry.min_watermark().map_or(watermark, |w| w.min(watermark));
+        let report = mhd_core::gc::collect_protected(inner.engine.substrate_mut(), cutoff)?;
+        Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner)?;
+        mhd_obs::counter!("daemon.gc_runs").inc();
+        Ok(report)
+    }
+
+    /// Runs the structural integrity checker over the whole store.
+    pub fn fsck(&self) -> mhd_core::fsck::IntegrityReport {
+        let mut inner = self.inner.lock();
+        mhd_core::fsck::check_store(inner.engine.substrate_mut())
+    }
+
+    /// A statistics snapshot (store totals + daemon live state).
+    pub fn stats(&self) -> DaemonStats {
+        let inner = self.inner.lock();
+        let state = inner.engine.export_state();
+        DaemonStats {
+            input_bytes: state.input_bytes,
+            dup_bytes: state.dup_bytes,
+            files: state.files,
+            chunks_stored: state.chunks_stored,
+            stored_bytes: inner.engine.substrate().ledger().total_output_bytes(),
+            streams: inner.streams,
+            active_sessions: self.registry.active(),
+            active_streams: self.registry.active_prefixes(),
+            index_entries: self.index.len(),
+            index_occupancy: self.index.occupancy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("mhd-daemon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
+        data
+    }
+
+    fn small_config() -> DaemonConfig {
+        DaemonConfig { ecs: 512, sd: 8, ..DaemonConfig::default() }
+    }
+
+    #[test]
+    fn commit_restore_round_trip_per_tenant() {
+        let root = temp_root("roundtrip");
+        let store = SharedStore::open(&root, small_config()).unwrap();
+
+        let data_a = random_bytes(1, 60_000);
+        let data_b = random_bytes(2, 40_000);
+        let mut sa = store.begin_session("alice", "day0").unwrap();
+        sa.stage("disk.img", &data_a).unwrap();
+        let mut sb = store.begin_session("bob", "day0").unwrap();
+        sb.stage("disk.img", &data_b).unwrap();
+
+        let ra = store.commit(sa).unwrap();
+        assert_eq!(ra.files, 1);
+        assert_eq!(ra.input_bytes, 60_000);
+        store.commit(sb).unwrap();
+
+        assert_eq!(store.restore("alice", "day0/disk.img").unwrap(), data_a);
+        assert_eq!(store.restore("bob", "day0/disk.img").unwrap(), data_b);
+        // Listings are tenant-scoped.
+        assert_eq!(store.list("alice").unwrap(), vec!["day0_disk.img".to_string()]);
+        assert_eq!(store.list("bob").unwrap(), vec!["day0_disk.img".to_string()]);
+        assert!(store.restore("alice", "day0/nope.img").is_err());
+        assert_eq!(store.registry().active(), 0);
+        assert!(store.fsck().is_healthy());
+
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn identical_corpora_across_tenants_share_chunks() {
+        let root = temp_root("xdedup");
+        let store = SharedStore::open(&root, small_config()).unwrap();
+        let data = random_bytes(3, 80_000);
+
+        let mut s = store.begin_session("alice", "d").unwrap();
+        s.stage("img", &data).unwrap();
+        let first = store.commit(s).unwrap();
+
+        let mut s = store.begin_session("bob", "d").unwrap();
+        s.stage("img", &data).unwrap();
+        let second = store.commit(s).unwrap();
+
+        assert!(
+            second.grown_bytes < first.grown_bytes / 5,
+            "identical data from another tenant must dedup (first grew {}, second grew {})",
+            first.grown_bytes,
+            second.grown_bytes
+        );
+        assert_eq!(store.restore("bob", "d/img").unwrap(), data);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stream_names_are_exclusive_and_released_on_abort() {
+        let root = temp_root("lease");
+        let store = SharedStore::open(&root, small_config()).unwrap();
+
+        let s1 = store.begin_session("t", "day0").unwrap();
+        // Active lease blocks a second session on the same stream…
+        assert!(store.begin_session("t", "day0").is_err());
+        // …but not a different stream.
+        let s2 = store.begin_session("t", "day1").unwrap();
+        store.abort(s2);
+        store.abort(s1);
+
+        // After abort the stream name is reusable.
+        let mut s = store.begin_session("t", "day0").unwrap();
+        s.stage("f", &random_bytes(4, 10_000)).unwrap();
+        store.commit(s).unwrap();
+        // A committed stream's name is taken for good.
+        assert!(store.begin_session("t", "day0").is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn gc_protects_active_sessions() {
+        let root = temp_root("gcprotect");
+        let store = SharedStore::open(&root, small_config()).unwrap();
+
+        let mut s = store.begin_session("t", "base").unwrap();
+        s.stage("f", &random_bytes(5, 50_000)).unwrap();
+        store.commit(s).unwrap();
+
+        // An idle session pins the watermark: even though nothing above it
+        // exists yet, a GC run must report a cutoff that spares future
+        // writes. Commit afterwards and verify the data survived GC.
+        let mut s = store.begin_session("t", "next").unwrap();
+        let data = random_bytes(6, 50_000);
+        s.stage("f", &data).unwrap();
+        let _ = store.gc().unwrap();
+        store.commit(s).unwrap();
+        assert_eq!(store.restore("t", "next/f").unwrap(), data);
+        assert!(store.fsck().is_healthy());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_session_rolls_back_at_open() {
+        let root = temp_root("torn");
+        let committed = random_bytes(7, 30_000);
+        {
+            let store = SharedStore::open(&root, small_config()).unwrap();
+            let mut s = store.begin_session("t", "good").unwrap();
+            s.stage("f", &committed).unwrap();
+            store.commit(s).unwrap();
+            // Simulate a crash mid-session: begin (which writes the wip
+            // intent record) and drop the store without commit/abort.
+            let mut s = store.begin_session("t", "torn").unwrap();
+            s.stage("f", &random_bytes(8, 30_000)).unwrap();
+            std::mem::forget(s);
+        }
+        // The wip record survived the "crash".
+        let wip = std::fs::read_dir(SharedStore::wip_dir(&root)).unwrap().count();
+        assert_eq!(wip, 1);
+
+        let store = SharedStore::open(&root, small_config()).unwrap();
+        let recovery = store.recovery().clone();
+        assert_eq!(recovery.sessions_rolled_back, 1);
+        // The torn stream is gone, the committed one intact, and the
+        // store is structurally healthy.
+        assert_eq!(store.list("t").unwrap(), vec!["good_f".to_string()]);
+        assert_eq!(store.restore("t", "good/f").unwrap(), committed);
+        assert!(store.fsck().is_healthy());
+        // The lease is free again.
+        let s = store.begin_session("t", "torn").unwrap();
+        store.abort(s);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn have_answers_from_the_shared_index() {
+        let root = temp_root("have");
+        let store = SharedStore::open(&root, small_config()).unwrap();
+        let mut s = store.begin_session("t", "d").unwrap();
+        s.stage("f", &random_bytes(9, 20_000)).unwrap();
+        store.commit(s).unwrap();
+
+        assert!(!store.index().is_empty(), "commit must publish hooks");
+        let hooks: Vec<String> = {
+            // Ask for a real hook plus a bogus one.
+            let stats = store.stats();
+            assert!(stats.index_entries > 0);
+            vec!["0000000000000000000000000000000000000000".to_string()]
+        };
+        assert_eq!(store.have(&hooks), vec![false]);
+        assert_eq!(store.have(&["nothex".to_string()]), vec![false]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_resumes_dedup_against_persisted_state() {
+        let root = temp_root("resume");
+        let data = random_bytes(10, 70_000);
+        {
+            let store = SharedStore::open(&root, small_config()).unwrap();
+            let mut s = store.begin_session("t", "day0").unwrap();
+            s.stage("img", &data).unwrap();
+            store.commit(s).unwrap();
+        }
+        let store = SharedStore::open(&root, small_config()).unwrap();
+        assert!(store.recovery().is_clean());
+        let mut s = store.begin_session("t", "day1").unwrap();
+        s.stage("img", &data).unwrap();
+        let report = store.commit(s).unwrap();
+        assert!(
+            report.grown_bytes < report.input_bytes / 5,
+            "reopened store must dedup against day0 (grew {} of {})",
+            report.grown_bytes,
+            report.input_bytes
+        );
+        assert_eq!(store.restore("t", "day1/img").unwrap(), data);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn staging_validates_paths_and_duplicates() {
+        let root = temp_root("staging");
+        let store = SharedStore::open(&root, small_config()).unwrap();
+        let mut s = store.begin_session("t", "d").unwrap();
+        assert!(s.stage("../escape", b"x").is_err());
+        assert!(s.stage("/abs", b"x").is_err());
+        s.stage("ok.bin", b"x").unwrap();
+        assert!(s.stage("ok.bin", b"y").is_err(), "duplicate path");
+        assert_eq!(s.staged_files(), 1);
+        store.abort(s);
+        // Committing an empty session is an error, not a no-op.
+        let s = store.begin_session("t", "d2").unwrap();
+        assert!(store.commit(s).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! mhd-lint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]
 //!          [--skip-mck] [--mck-only] [--max-states N]
-//!          [--mutant flush-order|ring-prune]
+//!          [--mutant flush-order|ring-prune|gc-protect]
 //! ```
 //!
 //! Exit codes: `0` clean (or all findings baselined), `1` new findings /
@@ -22,7 +22,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mhd_lint::mck::{check, CheckResult};
-use mhd_lint::models::{FlushModel, RingModel};
+use mhd_lint::models::{FlushModel, GcProtectModel, RingModel};
 use mhd_lint::{Baseline, Finding, Workspace};
 use serde_json::{Number, Value};
 
@@ -49,7 +49,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: mhd-lint [--root DIR] [--json] [--baseline FILE] \
          [--write-baseline FILE] [--skip-mck] [--mck-only] [--max-states N] \
-         [--mutant flush-order|ring-prune]"
+         [--mutant flush-order|ring-prune|gc-protect]"
     );
     ExitCode::from(2)
 }
@@ -126,6 +126,7 @@ fn main() -> ExitCode {
     if !opts.skip_mck {
         mck_results.push(("flush-order", check(&FlushModel::shipped(), opts.max_states)));
         mck_results.push(("ring-prune", check(&RingModel::shipped(), opts.max_states)));
+        mck_results.push(("gc-protect", check(&GcProtectModel::shipped(), opts.max_states)));
         for (name, result) in &mck_results {
             if let Some(v) = &result.violation {
                 findings.push(Finding {
@@ -206,8 +207,9 @@ fn run_mutant(name: &str, max_states: usize) -> ExitCode {
     let result = match name {
         "flush-order" => check(&FlushModel::mutant_flush_order(), max_states),
         "ring-prune" => check(&RingModel::mutant_ring_prune(), max_states),
+        "gc-protect" => check(&GcProtectModel::mutant_gc_protect(), max_states),
         _ => {
-            eprintln!("mhd-lint: unknown mutant {name:?} (flush-order, ring-prune)");
+            eprintln!("mhd-lint: unknown mutant {name:?} (flush-order, ring-prune, gc-protect)");
             return ExitCode::from(2);
         }
     };

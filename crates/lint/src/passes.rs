@@ -19,10 +19,12 @@ use crate::source::{matching_close, SourceFile, ALLOW_NAMES};
 /// Fallback scope-label keys, kept in sync with
 /// `mhd_obs::SCOPE_LABEL_KEYS`; the real registry is re-parsed from the
 /// obs source when present so the two cannot drift silently.
-pub const DEFAULT_SCOPE_KEYS: &[&str] = &["cmd", "engine", "fleet", "io", "run", "shard", "t"];
+pub const DEFAULT_SCOPE_KEYS: &[&str] =
+    &["cmd", "engine", "fleet", "io", "run", "shard", "t", "tenant"];
 
 /// Fallback stage-name prefixes, mirroring `mhd_obs::STAGE_NAME_PREFIXES`.
-pub const DEFAULT_STAGE_PREFIXES: &[&str] = &["backup", "engine", "io", "pipeline", "shard"];
+pub const DEFAULT_STAGE_PREFIXES: &[&str] =
+    &["backup", "daemon", "engine", "io", "pipeline", "shard"];
 
 /// A loaded workspace: every lintable source file plus crate manifests.
 #[derive(Debug)]
@@ -146,11 +148,13 @@ fn pass_allow_directives(ws: &Workspace, out: &mut Vec<Finding>) {
 // ---------------------------------------------------------------------
 
 /// Files on which a panic can strand a partially-committed store: the
-/// whole store crate, the CLI (user-facing I/O), and the core modules
-/// that drive engine I/O and recovery.
+/// whole store crate, the CLI (user-facing I/O), the daemon (long-lived
+/// server holding sessions open), and the core modules that drive engine
+/// I/O and recovery.
 fn l1_restricted(rel: &str) -> bool {
     rel.starts_with("crates/store/src/")
         || rel.starts_with("crates/cli/src/")
+        || rel.starts_with("crates/daemon/src/")
         || matches!(
             rel,
             "crates/core/src/pipeline.rs"
@@ -388,7 +392,8 @@ fn pass_l3_immutability(ws: &Workspace, out: &mut Vec<Finding>) {
     for file in ws.files.iter().filter(|f| {
         (f.rel.starts_with("crates/store/src/")
             || f.rel.starts_with("crates/core/src/")
-            || f.rel.starts_with("crates/cli/src/"))
+            || f.rel.starts_with("crates/cli/src/")
+            || f.rel.starts_with("crates/daemon/src/"))
             && !exempt.contains(&f.rel.as_str())
     }) {
         let toks = &file.toks;

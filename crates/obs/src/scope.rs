@@ -23,7 +23,8 @@
 /// workspace, so introducing a new label family means registering its
 /// key here — which is also where dashboards and the snapshot comparator
 /// learn what to expect.
-pub const SCOPE_LABEL_KEYS: &[&str] = &["cmd", "engine", "fleet", "io", "run", "shard", "t"];
+pub const SCOPE_LABEL_KEYS: &[&str] =
+    &["cmd", "engine", "fleet", "io", "run", "shard", "t", "tenant"];
 
 #[cfg(feature = "obs")]
 mod imp {

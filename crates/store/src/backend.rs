@@ -286,7 +286,15 @@ impl Backend for MemBackend {
 }
 
 /// Replaces path separators so object names map to single file names.
-pub(crate) fn safe_name(name: &str) -> String {
+///
+/// This is the canonical mapping from logical object names (which may
+/// contain `/`, e.g. FileManifest recipe names like `m0/d0/file`) to the
+/// flat per-kind directory namespace the directory backends store them
+/// in. [`Backend::list`] returns names in *sanitised* form; `get`/`put`
+/// sanitise again, so either form addresses the same object. Exported so
+/// multi-tenant layers (the daemon) can compute tenant prefixes in the
+/// same namespace the listings use.
+pub fn safe_name(name: &str) -> String {
     name.chars().map(|c| if c == '/' || c == '\\' { '_' } else { c }).collect()
 }
 

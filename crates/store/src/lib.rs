@@ -39,8 +39,8 @@ mod substrate;
 pub mod sync;
 
 pub use backend::{
-    Backend, DirBackend, Durability, FaultBackend, FaultOp, FaultPoint, FileKind, MemBackend,
-    RecoveryReport,
+    safe_name, Backend, DirBackend, Durability, FaultBackend, FaultOp, FaultPoint, FileKind,
+    MemBackend, RecoveryReport,
 };
 pub use batched::{BatchedDirBackend, IoConfig};
 pub use chunk_store::{DiskChunkBuilder, DiskChunkId};

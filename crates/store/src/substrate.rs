@@ -353,6 +353,38 @@ impl<B: Backend> Substrate<B> {
         Ok(())
     }
 
+    // ----- Concurrency support -------------------------------------------
+
+    /// The next DiskChunk id this substrate would allocate. Chunk ids are
+    /// allocated monotonically, so this value is a *watermark*: every chunk
+    /// written from now on has `id >= chunk_id_watermark()`. A concurrent
+    /// garbage collector that must not sweep chunks written by in-progress
+    /// sessions records each session's watermark at registration and skips
+    /// every chunk at or above the minimum (see `mhd_core::gc` and the
+    /// daemon's session registry).
+    pub fn chunk_id_watermark(&self) -> u64 {
+        self.next_chunk_id
+    }
+
+    /// The next Manifest id this substrate would allocate (the manifest
+    /// analogue of [`Substrate::chunk_id_watermark`]).
+    pub fn manifest_id_watermark(&self) -> u64 {
+        self.next_manifest_id
+    }
+
+    /// Raises the id allocators to at least `chunk` / `manifest`.
+    ///
+    /// After a crash, the persisted session state can be *behind* the
+    /// store: a flush may have committed objects whose ids the lost
+    /// state never recorded. Re-opening with stale allocators would hand
+    /// out ids that collide with objects already on disk, so recovery
+    /// scans the on-disk names and raises the floors past the maximum it
+    /// finds. Lowering is never allowed — ids are write-once.
+    pub fn ensure_id_floor(&mut self, chunk: u64, manifest: u64) {
+        self.next_chunk_id = self.next_chunk_id.max(chunk);
+        self.next_manifest_id = self.next_manifest_id.max(manifest);
+    }
+
     // ----- Persistence ----------------------------------------------------
 
     /// Exports the substrate's mutable bookkeeping so a session over a
