@@ -3,9 +3,34 @@
 //! client sessions grows. Every configuration pushes the *same* corpus
 //! through the daemon — machines are partitioned across N clients, each
 //! client is its own tenant driving the wire protocol over a Unix socket
-//! — so the exhibit isolates what session concurrency buys (overlapping
-//! protocol parsing, chunking, and hashing) against the shared-engine
-//! commit lock that serialises index updates.
+//! — so the exhibit isolates what the two-phase commit buys: the dedup
+//! pipeline (chunking, hashing, hook probes) runs outside the engine
+//! lock on per-session staging substrates, and only the short publish
+//! phase serialises, so aggregate MiB/s should *grow* with session count
+//! while `chunks_stored` stays within a whisker of the serial run.
+//!
+//! Two asserted gates back the claim:
+//!
+//! * dedup equivalence — `chunks_stored` must land within 1% (min 2) of
+//!   the 1-session reference: optimistic conflict retries make
+//!   concurrent dedup decisions converge on the serial outcome, with the
+//!   residue down to commit-order permutation (hook-based dedup is
+//!   order-sensitive, so the count drifts a few chunks either way — the
+//!   parallel run sometimes dedups strictly *better*); beyond 4 sessions
+//!   the slack additionally grows with session count, since each
+//!   oversubscribed session that exhausts its retry budget may publish a
+//!   few duplicate chunks (correct, just slightly less deduplicated);
+//! * scaling (opt-in via `DAEMON_BENCH_REQUIRE_SCALING=1`, set by CI's
+//!   smoke stage) — with ≥4 cores, 4-session throughput must be at least
+//!   0.9× the 2-session figure, i.e. adding sessions never *costs*
+//!   throughput; on smaller boxes, where concurrent pipelines cannot
+//!   physically overlap, the gate instead checks the measured Amdahl
+//!   number: the serialized splice+persist work must stay under 80% of
+//!   commit time at every *multi-session* row (the `publish` column /
+//!   `publish_fraction` JSON field, from the daemon's own commit-phase
+//!   span timers, excluding time spent queued on the lock; the serial
+//!   row is reported but not gated — it has no concurrency to amortize
+//!   the fixed per-commit persist cost against).
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -41,6 +66,97 @@ fn drive_machine(socket: &Path, tenant: &str, snapshots: &[&mhd_workload::Snapsh
     sent
 }
 
+/// Replays per configuration; the fastest is reported (best-of-N).
+const REPEATS: usize = 3;
+
+/// One measured corpus replay at a given session count.
+struct ConfigSample {
+    seconds: f64,
+    stats: mhd_daemon::DaemonStats,
+    pipeline_seconds: f64,
+    publish_seconds: f64,
+    serialized_seconds: f64,
+    publish_fraction: f64,
+}
+
+/// Runs one full corpus replay against a fresh daemon with `sessions`
+/// concurrent clients, verifies the result (input accounting, probe
+/// restore, healthy shutdown), and returns the measured sample.
+fn run_config(corpus: &mhd_workload::Corpus, sessions: usize, rep: usize) -> ConfigSample {
+    let obs_before = mhd_obs::snapshot();
+    let root = temp_root(&format!("s{sessions}-r{rep}"));
+    let store_dir = root.join("store");
+    let socket = root.join("mhd.sock");
+    let daemon = Daemon::open(&store_dir, DaemonConfig::default()).expect("open daemon");
+    let store = daemon.store().clone();
+    let handle = daemon.spawn(&socket).expect("spawn daemon");
+
+    // Partition machines round-robin across N clients; each client is
+    // one tenant and replays its machines' days in backup order.
+    let start = Instant::now();
+    let workers: Vec<_> = (0..sessions)
+        .map(|w| {
+            let socket = socket.clone();
+            let snapshots: Vec<mhd_workload::Snapshot> =
+                corpus.snapshots.iter().filter(|s| s.machine % sessions == w).cloned().collect();
+            std::thread::spawn(move || {
+                let refs: Vec<&mhd_workload::Snapshot> = snapshots.iter().collect();
+                drive_machine(&socket, &format!("client{w}"), &refs)
+            })
+        })
+        .collect();
+    let sent: u64 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(sent, corpus.total_bytes(), "clients must replay the whole corpus");
+
+    let stats = store.stats();
+    assert_eq!(stats.input_bytes, corpus.total_bytes(), "daemon lost input bytes");
+
+    // Whatever the commit interleaving did to hook placement, restores
+    // must stay byte-identical — probe machine 0, day 0.
+    let mut admin = Client::connect(&socket).expect("connect admin");
+    admin.open("client0").expect("open probe tenant");
+    let probe = corpus
+        .snapshots
+        .iter()
+        .find(|s| s.machine == 0 && s.day == 0)
+        .expect("corpus has machine 0 day 0");
+    for file in &probe.files {
+        let leaf = file.path.rsplit('/').next().expect("nonempty path");
+        let restored = admin.restore(&format!("m0-d0_{leaf}")).expect("restore probe");
+        assert_eq!(restored, file.data, "restore of m0/d0/{leaf} diverged");
+    }
+    admin.shutdown().expect("shutdown");
+    handle.join().expect("serve thread");
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Phase occupancy from the daemon's own span timers: how much commit
+    // time went to the parallel pipeline vs the serialized splice+persist
+    // work. This is the Amdahl number behind the scaling claim, and it
+    // is meaningful even on boxes with too few cores to show wall-clock
+    // scaling directly. The fraction uses the splice/persist *work*
+    // spans, not the publish wrapper span, because the wrapper also
+    // counts time queued on the lock — with N sessions that wait is
+    // tallied N-fold and would make the fraction grow with concurrency
+    // even when the serialized work per commit is unchanged.
+    let obs = mhd_obs::snapshot().diff(&obs_before);
+    let phase_secs = |name: &str| obs.histogram(name).map_or(0.0, |h| h.sum as f64 / 1e9);
+    let pipeline_seconds = phase_secs("daemon.commit_pipeline_ns");
+    let publish_seconds = phase_secs("daemon.commit_publish_ns");
+    let serialized_seconds =
+        phase_secs("daemon.commit_splice_ns") + phase_secs("daemon.commit_persist_ns");
+    let publish_fraction = serialized_seconds / (pipeline_seconds + serialized_seconds).max(1e-9);
+
+    ConfigSample {
+        seconds,
+        stats,
+        pipeline_seconds,
+        publish_seconds,
+        serialized_seconds,
+        publish_fraction,
+    }
+}
+
 fn main() {
     let cli = Cli::parse();
     let corpus = cli.corpus();
@@ -52,96 +168,138 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut js = Vec::new();
-    let mut reference_stored = None;
+    let mut reference_chunks = None;
+    let mut throughputs: Vec<(usize, f64)> = Vec::new();
+    let mut publish_fractions: Vec<(usize, f64)> = Vec::new();
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     for &sessions in &session_counts {
-        eprintln!("daemon_bench: {sessions} concurrent session(s)");
-        let root = temp_root(&format!("s{sessions}"));
-        let store_dir = root.join("store");
-        let socket = root.join("mhd.sock");
-        let daemon = Daemon::open(&store_dir, DaemonConfig::default()).expect("open daemon");
-        let store = daemon.store().clone();
-        let handle = daemon.spawn(&socket).expect("spawn daemon");
+        // Each configuration replays the corpus REPEATS times into a
+        // fresh store and reports the fastest replay — the standard
+        // best-of-N discipline for wall-clock comparisons, since the
+        // minimum is the run least polluted by scheduler and page-cache
+        // noise. Correctness assertions run on *every* replay.
+        let mut best: Option<ConfigSample> = None;
+        for rep in 0..REPEATS {
+            eprintln!("daemon_bench: {sessions} concurrent session(s), replay {rep}");
+            let sample = run_config(&corpus, sessions, rep);
 
-        // Partition machines round-robin across N clients; each client is
-        // one tenant and replays its machines' days in backup order.
-        let start = Instant::now();
-        let workers: Vec<_> = (0..sessions)
-            .map(|w| {
-                let socket = socket.clone();
-                let snapshots: Vec<mhd_workload::Snapshot> = corpus
-                    .snapshots
-                    .iter()
-                    .filter(|s| s.machine % sessions == w)
-                    .cloned()
-                    .collect();
-                std::thread::spawn(move || {
-                    let refs: Vec<&mhd_workload::Snapshot> = snapshots.iter().collect();
-                    drive_machine(&socket, &format!("client{w}"), &refs)
-                })
-            })
-            .collect();
-        let sent: u64 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
-        let seconds = start.elapsed().as_secs_f64();
-        assert_eq!(sent, corpus.total_bytes(), "clients must replay the whole corpus");
+            // Two-phase commits retry on hook-probe conflicts, so
+            // concurrent interleavings must land within a whisker of the
+            // serial dedup outcome. Two benign mechanisms move the
+            // count: (a) partitioning machines across clients permutes
+            // stream commit order, and hook-based dedup is
+            // order-sensitive — a stream dedups against whichever
+            // streams published first, so the count drifts a few chunks
+            // in *either* direction (sometimes strictly better than
+            // serial); (b) each retry-budget exhaustion may leak a
+            // duplicate, which grows with oversubscription. Bound (a) at
+            // 1% of the serial count and (b) at one chunk per session
+            // beyond 4 — a broken splice or a lost index update leaks
+            // duplicates proportional to the shared content, orders of
+            // magnitude past this bound.
+            let reference = *reference_chunks.get_or_insert(sample.stats.chunks_stored);
+            let mut tolerance = (reference / 100).max(2);
+            if sessions > 4 {
+                tolerance += sessions as u64;
+            }
+            assert!(
+                sample.stats.chunks_stored.abs_diff(reference) <= tolerance,
+                "{sessions} sessions: {} chunks stored vs serial {} — dedup diverged \
+                 under concurrency",
+                sample.stats.chunks_stored,
+                reference
+            );
 
-        let stats = store.stats();
-        assert_eq!(stats.input_bytes, corpus.total_bytes(), "daemon lost input bytes");
-
-        // Whatever the commit interleaving did to hook placement, restores
-        // must stay byte-identical — probe machine 0, day 0.
-        let mut admin = Client::connect(&socket).expect("connect admin");
-        admin.open("client0").expect("open probe tenant");
-        let probe = corpus
-            .snapshots
-            .iter()
-            .find(|s| s.machine == 0 && s.day == 0)
-            .expect("corpus has machine 0 day 0");
-        for file in &probe.files {
-            let leaf = file.path.rsplit('/').next().expect("nonempty path");
-            let restored = admin.restore(&format!("m0-d0_{leaf}")).expect("restore probe");
-            assert_eq!(restored, file.data, "restore of m0/d0/{leaf} diverged");
+            if best.as_ref().is_none_or(|b| sample.seconds < b.seconds) {
+                best = Some(sample);
+            }
         }
-        admin.shutdown().expect("shutdown");
-        handle.join().expect("serve thread");
+        let sample = best.expect("at least one replay ran");
+        let stats = &sample.stats;
 
-        // Hysteresis re-chunking is order-sensitive, so concurrent commit
-        // interleavings may shift hook placement slightly — but the stored
-        // set must stay in the same ballpark as the serial run.
-        let reference = *reference_stored.get_or_insert(stats.stored_bytes);
-        assert!(
-            stats.stored_bytes * 10 < reference * 13 && reference * 10 < stats.stored_bytes * 13,
-            "{sessions} sessions: stored {} bytes vs serial {} — dedup regressed under concurrency",
-            stats.stored_bytes,
-            reference
-        );
-
-        let throughput = input_mib / seconds;
+        let throughput = input_mib / sample.seconds;
+        throughputs.push((sessions, throughput));
+        publish_fractions.push((sessions, sample.publish_fraction));
         rows.push(vec![
             sessions.to_string(),
-            format!("{seconds:.2}"),
+            format!("{:.2}", sample.seconds),
             format!("{throughput:.1}"),
             stats.streams.to_string(),
             format!("{:.1}", stats.stored_bytes as f64 / (1 << 20) as f64),
+            format!("{:.0}%", sample.publish_fraction * 100.0),
         ]);
         js.push(json!({
             "sessions": sessions,
-            "seconds": seconds,
+            "seconds": sample.seconds,
             "aggregate_mib_s": throughput,
             "streams": stats.streams,
             "chunks_stored": stats.chunks_stored,
             "stored_bytes": stats.stored_bytes,
             "input_bytes": stats.input_bytes,
             "dup_bytes": stats.dup_bytes,
+            "pipeline_seconds": sample.pipeline_seconds,
+            "publish_seconds": sample.publish_seconds,
+            "serialized_seconds": sample.serialized_seconds,
+            "publish_fraction": sample.publish_fraction,
+            "parallelism": parallelism,
+            "repeats": REPEATS,
         }));
-        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    // CI's smoke stage sets this to turn the scaling claim into a hard
+    // gate; timings are too noisy for an unconditional assert in local
+    // debug runs, so it is opt-in. On boxes with at least four cores the
+    // gate is wall-clock: 4-session throughput must reach 0.9× the
+    // 2-session figure (slack for scheduler jitter, still catches "the
+    // publish lock swallowed the pipeline"). With fewer cores concurrent
+    // pipelines cannot overlap, so the gate falls back to the Amdahl
+    // number itself: the serialized publish phase must stay a minority of
+    // commit time at every session count.
+    if std::env::var_os("DAEMON_BENCH_REQUIRE_SCALING").is_some() {
+        if parallelism >= 4 {
+            let thr = |n: usize| throughputs.iter().find(|(s, _)| *s == n).map(|(_, t)| *t);
+            if let (Some(t2), Some(t4)) = (thr(2), thr(4)) {
+                assert!(
+                    t4 >= t2 * 0.9,
+                    "4-session throughput {t4:.2} MiB/s fell below 0.9x the 2-session \
+                     figure {t2:.2} MiB/s — commit sharding has regressed"
+                );
+            }
+        } else {
+            eprintln!(
+                "daemon_bench: only {parallelism} core(s) — gating on publish-phase \
+                 occupancy instead of wall-clock scaling"
+            );
+            // Only multi-session rows are gated: the Amdahl claim is
+            // about work that concurrent pipelines can amortize, and the
+            // serial row has no concurrency to overlap against — on small
+            // smoke corpora its fixed per-commit persist cost (Bloom +
+            // id-map sidecar rewrites) legitimately dominates the tiny
+            // pipelines without implying the lock-held section regressed.
+            for &(sessions, fraction) in &publish_fractions {
+                if sessions < 2 {
+                    continue;
+                }
+                assert!(
+                    fraction < 0.8,
+                    "{sessions} sessions: serialized splice+persist work took {:.0}% of \
+                     commit time — the lock-held section is no longer O(metadata)",
+                    fraction * 100.0
+                );
+            }
+        }
     }
 
     print_table(
         "Aggregate daemon backup throughput vs concurrent sessions (extension experiment)",
-        &["sessions", "seconds", "MiB/s", "streams", "stored MiB"],
+        &["sessions", "seconds", "MiB/s", "streams", "stored MiB", "publish"],
         &rows,
     );
     println!("\nevery configuration replays the identical corpus; only session concurrency varies");
+    println!(
+        "publish = share of commit time inside the serialized publish phase \
+         ({parallelism} core(s) available)"
+    );
 
     cli.write_json("daemon_bench.json", &js);
     cli.write_internals("daemon_bench_internals.json");

@@ -2,11 +2,14 @@
 //!
 //! The store layout is the paper's four hash-addressable namespaces (via
 //! [`BatchedDirBackend`]) plus a `session/` directory holding the
-//! serialised engine state: `state.json` (counters, ledger, manifest
-//! sizes and the Bloom filter bits, all in one JSON document) and
-//! `meta.json` (the store's chunking parameters and stream count). Both
-//! files are rewritten through a tmp sibling + atomic rename, so a crash
-//! mid-close leaves the previous consistent state in place.
+//! serialised engine state: `state.json` (counters, ledger and
+//! watermarks), the binary sidecars `bloom.bin` / `idmaps.bin` holding
+//! the O(store) payloads (see [`mhd_core::statefile`]), and `meta.json`
+//! (the store's chunking parameters and stream count). All files are
+//! rewritten through a tmp sibling + atomic rename, so a crash mid-close
+//! leaves the previous consistent state in place. Stores written before
+//! the sidecars existed inline everything in `state.json` and still
+//! open.
 //!
 //! The same layout is shared with `mhd serve` (the `mhd-daemon` crate):
 //! a stopped daemon store opens as a plain CLI session and vice versa.
@@ -105,7 +108,8 @@ impl Session {
         let config = EngineConfig::new(meta.ecs, meta.sd);
         let mut engine = MhdEngine::new(backend, config)?;
         if state_path.exists() {
-            let state: MhdState = serde_json::from_slice(&std::fs::read(&state_path)?)?;
+            let mut state: MhdState = serde_json::from_slice(&std::fs::read(&state_path)?)?;
+            mhd_core::statefile::attach_sidecars(&mut state, root)?;
             engine.import_state(state)?;
         }
         Ok(Session { engine, meta, root: root.to_path_buf(), recovery })
@@ -151,7 +155,11 @@ impl Session {
         // report is merely informational here.
         let _ = self.engine.finish()?;
         let (state_path, meta_path) = Self::paths(&self.root);
-        write_atomic(&state_path, &serde_json::to_vec(&self.engine.export_state())?)?;
+        // The O(store) payloads go to binary sidecars, written before the
+        // slim JSON — mhd_core::statefile documents the crash ordering.
+        let mut state = self.engine.export_state();
+        mhd_core::statefile::detach_sidecars(&mut state, &self.root)?;
+        write_atomic(&state_path, &serde_json::to_vec(&state)?)?;
         write_atomic(&meta_path, &serde_json::to_vec(&self.meta)?)?;
         // Persist this process's internal metrics so `mhd stats
         // --internals` can show what the last mutating run did.
@@ -374,6 +382,44 @@ mod tests {
         let report = s.report();
         assert!(report.input_bytes > 60_000);
         assert!(report.ledger.stored_data_bytes > 0);
+
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&store).unwrap();
+    }
+
+    #[test]
+    fn legacy_inline_state_still_opens() {
+        let src = temp_root("src3");
+        let store = temp_root("store3");
+        write_tree(&src, 3);
+        let mut s = Session::open(&store, 512, 8).unwrap();
+        s.backup(&snapshot_from_dir(&src, "day0").unwrap()).unwrap();
+        s.close().unwrap();
+
+        // Rewrite the store in the pre-sidecar format: inline the
+        // payloads into state.json and delete the sidecar files.
+        let state_path = store.join("session/state.json");
+        let mut state: MhdState =
+            serde_json::from_slice(&std::fs::read(&state_path).unwrap()).unwrap();
+        mhd_core::statefile::attach_sidecars(&mut state, &store).unwrap();
+        assert!(!state.bloom.is_empty(), "sidecar bloom should have loaded");
+        std::fs::write(&state_path, serde_json::to_vec(&state).unwrap()).unwrap();
+        std::fs::remove_file(store.join("session/bloom.bin")).unwrap();
+        std::fs::remove_file(store.join("session/idmaps.bin")).unwrap();
+
+        // The inline-format store must open and keep deduplicating.
+        let mut s = Session::open(&store, 512, 8).unwrap();
+        let before = s.ledger_output_bytes();
+        let snap = snapshot_from_dir(&src, "day1").unwrap();
+        let input: u64 = snap.files.iter().map(|f| f.data.len() as u64).sum();
+        s.backup(&snap).unwrap();
+        s.close().unwrap();
+        let s = Session::open_readonly(&store).unwrap();
+        let growth = s.ledger_output_bytes() - before;
+        assert!(
+            growth < input / 5,
+            "legacy-format store must still dedup (grew {growth} of {input})"
+        );
 
         std::fs::remove_dir_all(&src).unwrap();
         std::fs::remove_dir_all(&store).unwrap();

@@ -129,6 +129,18 @@ impl DedupReport {
     }
 }
 
+/// An external oracle answering "does the store already have a Hook for
+/// this hash?" without touching the engine's own Bloom filter. The
+/// daemon's shared hook index implements this so concurrent staging
+/// engines can probe the whole store's hook population lock-free while
+/// their Bloom filters cover only session-local hooks.
+pub trait HookPresence: Send + Sync {
+    /// Whether a hook for `hash` is (claimed to be) present. May run
+    /// ahead of durable state — callers must tolerate a subsequent
+    /// on-disk lookup missing.
+    fn contains(&self, hash: &ChunkHash) -> bool;
+}
+
 /// A deduplication engine processing backup streams in order.
 ///
 /// Call [`Deduplicator::process_snapshot`] for each stream (the engines

@@ -58,6 +58,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod restore;
 pub mod shard;
+pub mod statefile;
 
 mod bimodal;
 mod cdc_engine;
@@ -74,9 +75,9 @@ pub use bimodal::BimodalEngine;
 pub use cdc_engine::CdcEngine;
 pub use config::{EngineConfig, HhrDupGranularity, HookIndex, MhdOptions};
 pub use engine::{
-    chunk_and_hash, DedupReport, Deduplicator, EngineError, EngineResult, HashedChunk,
+    chunk_and_hash, DedupReport, Deduplicator, EngineError, EngineResult, HashedChunk, HookPresence,
 };
 pub use fbc::FbcEngine;
-pub use mhd::{MhdEngine, MhdState};
+pub use mhd::{MhdEngine, MhdState, SessionDelta};
 pub use sparse_index::SparseIndexEngine;
 pub use subchunk::SubChunkEngine;

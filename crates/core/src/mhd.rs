@@ -23,22 +23,24 @@
 //!   finish. DiskChunks and Hooks are never modified.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
 use mhd_bloom::BloomFilter;
 use mhd_cache::ManifestCache;
 use mhd_chunking::RabinChunker;
-use mhd_hash::{sha1, ChunkHash, FxHashMap};
+use mhd_hash::{sha1, ChunkHash, FxHashMap, FxHashSet};
 use mhd_store::{
-    Backend, DiskChunkBuilder, Extent, FileManifest, Manifest, ManifestEntry, ManifestFormat,
-    ManifestId, Substrate,
+    Backend, DiskChunkBuilder, Extent, FileManifest, IoStats, Manifest, ManifestEntry,
+    ManifestFormat, ManifestId, StoreError, Substrate,
 };
 use mhd_workload::Snapshot;
 
 use crate::config::{EngineConfig, HhrDupGranularity, HookIndex};
 use crate::engine::{
-    chunk_and_hash, DedupReport, Deduplicator, EngineError, EngineResult, HashedChunk, SliceTracker,
+    chunk_and_hash, DedupReport, Deduplicator, EngineError, EngineResult, HashedChunk,
+    HookPresence, SliceTracker,
 };
 
 /// The BF-MHD engine (Bloom-filter-based MHD, the variant evaluated in §V).
@@ -57,6 +59,13 @@ pub struct MhdEngine<B: Backend> {
     chunks_stored: u64,
     hhr_count: u64,
     dedup_seconds: f64,
+    /// Optional shared-store presence oracle (two-phase daemon commits):
+    /// consulted before the Bloom filter, which then only covers the
+    /// hooks this engine wrote itself.
+    presence: Option<Arc<dyn HookPresence>>,
+    /// When a presence oracle is installed: every hash that missed
+    /// lookup, for publish-time conflict detection.
+    missed: FxHashSet<ChunkHash>,
 }
 
 /// Result of extending a match through one Manifest entry by byte
@@ -117,8 +126,36 @@ impl<B: Backend> MhdEngine<B> {
             chunks_stored: 0,
             hhr_count: 0,
             dedup_seconds: 0.0,
+            presence: None,
+            missed: FxHashSet::default(),
             config,
         })
+    }
+
+    /// Installs a hook-presence oracle: lookups consult it before the
+    /// Bloom filter (whose coverage shrinks to this engine's own hooks),
+    /// every missing hook is tolerated as a plain miss (the oracle may
+    /// run ahead of durable state), and every missed hash is recorded for
+    /// [`MhdEngine::take_missed_hashes`]. This is the staging-engine mode
+    /// of a two-phase daemon commit.
+    pub fn set_hook_presence(&mut self, oracle: Arc<dyn HookPresence>) {
+        self.presence = Some(oracle);
+    }
+
+    /// Drains the hashes that missed lookup since the last call (always
+    /// empty unless a presence oracle is installed). A publisher
+    /// intersects these with concurrently-published hooks to detect that
+    /// this pipeline deduplicated against a stale view.
+    pub fn take_missed_hashes(&mut self) -> FxHashSet<ChunkHash> {
+        std::mem::take(&mut self.missed)
+    }
+
+    /// Records (under a presence oracle) and returns a lookup miss.
+    fn miss(&mut self, hash: ChunkHash) -> EngineResult<Option<(ManifestId, u32)>> {
+        if self.presence.is_some() {
+            self.missed.insert(hash);
+        }
+        Ok(None)
     }
 
     /// The engine configuration.
@@ -147,9 +184,16 @@ impl<B: Backend> MhdEngine<B> {
         }
         let mid = match self.config.mhd.hook_index {
             HookIndex::Bloom => {
-                if !self.bloom.contains(&hash) {
+                // With a presence oracle, the shared index answers for
+                // hooks other sessions published; the Bloom filter only
+                // covers this engine's own hooks.
+                let claimed = match &self.presence {
+                    Some(oracle) => oracle.contains(&hash) || self.bloom.contains(&hash),
+                    None => self.bloom.contains(&hash),
+                };
+                if !claimed {
                     self.substrate.stats_mut().bloom_suppressed += 1;
-                    return Ok(None);
+                    return self.miss(hash);
                 }
                 match self.substrate.lookup_hook(hash)? {
                     Some(mid) => {
@@ -159,7 +203,7 @@ impl<B: Backend> MhdEngine<B> {
                     }
                     None => {
                         mhd_obs::counter!("mhd.bloom_false_positives").inc();
-                        return Ok(None);
+                        return self.miss(hash);
                     }
                 }
             }
@@ -170,19 +214,38 @@ impl<B: Backend> MhdEngine<B> {
                     mhd_obs::trace(mhd_obs::TraceEvent::HookHit);
                     mid
                 }
-                None => return Ok(None),
+                None => return self.miss(hash),
             },
         };
-        let manifest = self.substrate.load_manifest(mid)?;
+        let manifest = match self.substrate.load_manifest(mid) {
+            Ok(m) => m,
+            // Under a presence oracle a hook can race the manifest it
+            // points to (the lock-free index runs ahead of the publisher's
+            // flush, or GC swept the manifest): degrade to a miss —
+            // publish-time conflict detection re-runs the pipeline when
+            // the race actually cost deduplication.
+            Err(StoreError::NotFound { .. }) if self.presence.is_some() => {
+                return self.miss(hash);
+            }
+            Err(e) => return Err(e.into()),
+        };
         self.insert_into_cache(manifest)?;
         // Resolve the entry through the cache's per-manifest hash index
         // built on fill — a linear scan here is O(entries) per hook hit,
         // which dominates on large manifests.
         let idx = self.cache.peek(mid).and_then(|cached| cached.find(&hash));
         // Hooks are immutable and HHR never re-chunks Hook entries, so the
-        // hash is always present in the Manifest its Hook points to.
-        debug_assert!(idx.is_some(), "hook points at manifest lacking its hash");
-        Ok(idx.map(|i| (mid, i)))
+        // hash is always present in the Manifest its Hook points to —
+        // except under a presence oracle, where the hook may map to a
+        // concurrent publisher's manifest that happens to collide.
+        debug_assert!(
+            self.presence.is_some() || idx.is_some(),
+            "hook points at manifest lacking its hash"
+        );
+        match idx {
+            Some(i) => Ok(Some((mid, i))),
+            None => self.miss(hash),
+        }
     }
 
     fn insert_into_cache(&mut self, manifest: Manifest) -> EngineResult<()> {
@@ -440,7 +503,14 @@ impl<B: Backend> MhdEngine<B> {
             if e.is_hook || e.size <= tail.len as u64 {
                 break;
             }
-            let old = self.substrate.read_chunk_range(e.container, e.offset, e.size)?;
+            let old = match self.substrate.read_chunk_range(e.container, e.offset, e.size) {
+                Ok(old) => old,
+                // Under a presence oracle the container may belong to a
+                // concurrent publisher and not be flushed yet: stop
+                // extending instead of failing the whole pipeline.
+                Err(StoreError::NotFound { .. }) if self.presence.is_some() => break,
+                Err(err) => return Err(err.into()),
+            };
             let m = Self::match_suffix(&old, buffer, data);
             if m.matched_chunks == 0 {
                 break;
@@ -538,7 +608,14 @@ impl<B: Backend> MhdEngine<B> {
             if e.is_hook || e.size <= c.len as u64 {
                 break;
             }
-            let old = self.substrate.read_chunk_range(e.container, e.offset, e.size)?;
+            let old = match self.substrate.read_chunk_range(e.container, e.offset, e.size) {
+                Ok(old) => old,
+                // Under a presence oracle the container may belong to a
+                // concurrent publisher and not be flushed yet: stop
+                // extending instead of failing the whole pipeline.
+                Err(StoreError::NotFound { .. }) if self.presence.is_some() => break,
+                Err(err) => return Err(err.into()),
+            };
             let m = Self::match_prefix(&old, &chunks[i..], data);
             if m.matched_chunks == 0 {
                 break;
@@ -725,7 +802,7 @@ impl<B: Backend> MhdEngine<B> {
 /// Serialisable snapshot of an [`MhdEngine`]'s session state (everything
 /// except the Manifest cache, which is rebuilt on demand, and the backend
 /// itself). Enables durable, resumable stores — see the `mhd` CLI.
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct MhdState {
     /// Substrate bookkeeping.
     pub substrate: mhd_store::SubstrateState,
@@ -751,7 +828,76 @@ pub struct MhdState {
     pub dedup_seconds: f64,
 }
 
+/// Counter deltas of one staged commit: a fresh engine over a staging
+/// substrate starts all counters at zero, so after `finish()` its
+/// counters *are* the session's contribution, merged into the long-lived
+/// shared engine by [`MhdEngine::absorb_delta`] when the staged objects
+/// are spliced in. Only read-side [`IoStats`] travel in the delta — the
+/// splice re-charges the write side through the shared substrate.
+#[derive(Debug, Clone, Default)]
+pub struct SessionDelta {
+    /// Raw input bytes the session processed.
+    pub input_bytes: u64,
+    /// Duplicate slices found.
+    pub dup_slices: u64,
+    /// Duplicate bytes found.
+    pub dup_bytes: u64,
+    /// Duplicate chunks found.
+    pub dup_chunks: u64,
+    /// Files that produced recipes.
+    pub files: u64,
+    /// Chunks the session stored.
+    pub chunks_stored: u64,
+    /// HHR re-chunk operations.
+    pub hhr_count: u64,
+    /// Dedup wall-clock seconds.
+    pub dedup_seconds: f64,
+    /// The session's I/O counters (only read-side fields are absorbed).
+    pub stats: IoStats,
+}
+
 impl<B: Backend> MhdEngine<B> {
+    /// Exports this engine's counters as a session delta. Meaningful on a
+    /// staging engine after [`Deduplicator::finish`], where every counter
+    /// started from zero.
+    pub fn export_delta(&self) -> SessionDelta {
+        SessionDelta {
+            input_bytes: self.input_bytes,
+            dup_slices: self.slice.slices,
+            dup_bytes: self.slice.dup_bytes,
+            dup_chunks: self.slice.dup_chunks,
+            files: self.files,
+            chunks_stored: self.chunks_stored,
+            hhr_count: self.hhr_count,
+            dedup_seconds: self.dedup_seconds,
+            stats: *self.substrate.stats(),
+        }
+    }
+
+    /// Merges a staged session's counters into this engine and registers
+    /// its published hook hashes in the Bloom filter — required so the
+    /// persisted filter stays coherent with the on-disk hook set (batch
+    /// CLI runs reopen the same store from `state.json`).
+    pub fn absorb_delta(&mut self, delta: &SessionDelta, hook_hashes: &[ChunkHash]) {
+        self.input_bytes += delta.input_bytes;
+        self.slice.slices += delta.dup_slices;
+        self.slice.dup_bytes += delta.dup_bytes;
+        self.slice.dup_chunks += delta.dup_chunks;
+        self.files += delta.files;
+        self.chunks_stored += delta.chunks_stored;
+        self.hhr_count += delta.hhr_count;
+        self.dedup_seconds += delta.dedup_seconds;
+        let stats = self.substrate.stats_mut();
+        stats.chunk_input += delta.stats.chunk_input;
+        stats.hook_input += delta.stats.hook_input;
+        stats.manifest_input += delta.stats.manifest_input;
+        stats.cache_hits += delta.stats.cache_hits;
+        stats.bloom_suppressed += delta.stats.bloom_suppressed;
+        for hash in hook_hashes {
+            self.bloom.insert(hash);
+        }
+    }
+
     /// Exports the resumable session state. Call after
     /// [`Deduplicator::finish`] (so dirty manifests are flushed).
     pub fn export_state(&self) -> MhdState {

@@ -1,0 +1,263 @@
+//! Shared on-disk layout of a store's `session/` state files.
+//!
+//! Both the CLI (`mhd backup` and friends) and the daemon (`mhd serve`)
+//! persist engine state under `<store>/session/`, and each must open
+//! what the other wrote: a stopped daemon store is a plain CLI store and
+//! vice versa. This module owns the split between the JSON document and
+//! its binary sidecars so the two front ends cannot drift:
+//!
+//! * `state.json` — the [`MhdState`] counters, ledger and watermarks,
+//!   minus the two O(store) payloads below.
+//! * `bloom.bin` — the raw Bloom filter bits ([`MhdState::bloom`]).
+//! * `idmaps.bin` — the substrate's per-manifest size and per-chunk
+//!   hash maps in a fixed-width binary record format.
+//!
+//! The sidecars exist because serde_json renders a megabyte Bloom
+//! filter as roughly one JSON node per byte and the id maps as one node
+//! per entry. The daemon rewrites the state on every commit, so inlining
+//! them made each commit's serialized publish phase O(store) in JSON
+//! nodes — by far its widest part. As raw bytes both payloads serialize
+//! by memcpy.
+//!
+//! [`detach_sidecars`] writes the sidecars and strips the fields from
+//! the in-memory state; the caller then serializes the slim remainder to
+//! `state.json`. Writing the sidecars *first* is deliberate: a crash
+//! between the writes pairs *newer* sidecars with *older* counters,
+//! which is benign — a superset Bloom filter only costs false "maybe"
+//! probes, and map entries above the persisted watermark describe real
+//! on-disk objects that recovery already treats as unreferenced garbage
+//! (their entries are overwritten when the ids are re-allocated).
+//!
+//! Stores written before the sidecars existed inline everything in
+//! `state.json`; [`attach_sidecars`] only consults the sidecar files
+//! when the corresponding state fields are empty, so legacy stores open
+//! unchanged.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::MhdState;
+
+/// Magic + version tag for the `session/idmaps.bin` sidecar.
+const IDMAPS_MAGIC: &[u8; 8] = b"MHDIDMP1";
+
+/// Path of the Bloom filter sidecar under the store root.
+pub fn bloom_path(root: &Path) -> PathBuf {
+    root.join("session/bloom.bin")
+}
+
+/// Path of the id-map sidecar under the store root.
+pub fn idmaps_path(root: &Path) -> PathBuf {
+    root.join("session/idmaps.bin")
+}
+
+/// Writes `data` through a hidden tmp sibling + atomic rename so the
+/// sidecars can never be observed half-written; errors name the path.
+fn write_atomic(path: &Path, data: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| invalid(format!("{}: not a file path", path.display())))?;
+    let tmp = path.with_file_name(format!(".{file_name}.tmp"));
+    std::fs::write(&tmp, data)
+        .map_err(|e| io::Error::new(e.kind(), format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| io::Error::new(e.kind(), format!("rename to {}: {e}", path.display())))?;
+    Ok(())
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Encodes the substrate's id maps as the compact binary sidecar format:
+/// magic, two LE counts, then fixed-width entries (`id:u64, size:u64`
+/// and `id:u64, hash:40 hex bytes`).
+fn encode_idmaps(
+    manifest_sizes: &[(u64, u64)],
+    chunk_hashes: &[(u64, String)],
+) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(24 + manifest_sizes.len() * 16 + chunk_hashes.len() * 48);
+    out.extend_from_slice(IDMAPS_MAGIC);
+    out.extend_from_slice(&(manifest_sizes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(chunk_hashes.len() as u64).to_le_bytes());
+    for (id, size) in manifest_sizes {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&size.to_le_bytes());
+    }
+    for (id, hex) in chunk_hashes {
+        if hex.len() != 40 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(invalid(format!("chunk {id}: malformed hash {hex:?}")));
+        }
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(hex.as_bytes());
+    }
+    Ok(out)
+}
+
+/// Decodes [`encode_idmaps`] output; errors describe the corruption
+/// rather than panicking, since the sidecar is read at store open.
+#[allow(clippy::type_complexity)]
+fn decode_idmaps(raw: &[u8]) -> io::Result<(Vec<(u64, u64)>, Vec<(u64, String)>)> {
+    let take = |raw: &[u8], at: &mut usize, n: usize| -> io::Result<Vec<u8>> {
+        let end = at
+            .checked_add(n)
+            .filter(|&e| e <= raw.len())
+            .ok_or_else(|| invalid("truncated sidecar".into()))?;
+        let bytes = raw[*at..end].to_vec();
+        *at = end;
+        Ok(bytes)
+    };
+    let u64_at = |raw: &[u8], at: &mut usize| -> io::Result<u64> {
+        let bytes = take(raw, at, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))) // lint: allow(expect): length fixed by take(8)
+    };
+    let mut at = 0usize;
+    if take(raw, &mut at, 8)? != IDMAPS_MAGIC {
+        return Err(invalid("bad idmaps magic".into()));
+    }
+    let manifests = u64_at(raw, &mut at)? as usize;
+    let chunks = u64_at(raw, &mut at)? as usize;
+    let need = manifests
+        .checked_mul(16)
+        .and_then(|m| chunks.checked_mul(48).map(|c| m + c))
+        .ok_or_else(|| invalid("idmaps counts overflow".into()))?;
+    if raw.len() - at != need {
+        return Err(invalid(format!("idmaps length {} != expected {need}", raw.len() - at)));
+    }
+    let mut manifest_sizes = Vec::with_capacity(manifests);
+    for _ in 0..manifests {
+        let id = u64_at(raw, &mut at)?;
+        let size = u64_at(raw, &mut at)?;
+        manifest_sizes.push((id, size));
+    }
+    let mut chunk_hashes = Vec::with_capacity(chunks);
+    for _ in 0..chunks {
+        let id = u64_at(raw, &mut at)?;
+        let hex = String::from_utf8(take(raw, &mut at, 40)?)
+            .map_err(|_| invalid(format!("chunk {id}: non-UTF-8 hash")))?;
+        chunk_hashes.push((id, hex));
+    }
+    Ok((manifest_sizes, chunk_hashes))
+}
+
+/// Moves the O(store) payloads of `state` into binary sidecars under
+/// `root`, leaving a slim state the caller serializes to `state.json`.
+///
+/// Must run *before* the state JSON is written — see the module docs for
+/// the crash-ordering argument.
+pub fn detach_sidecars(state: &mut MhdState, root: &Path) -> io::Result<()> {
+    let bloom = std::mem::take(&mut state.bloom);
+    write_atomic(&bloom_path(root), &bloom)?;
+    let manifest_sizes = std::mem::take(&mut state.substrate.manifest_sizes);
+    let chunk_hashes = std::mem::take(&mut state.substrate.chunk_hashes);
+    let idmaps = encode_idmaps(&manifest_sizes, &chunk_hashes)?;
+    write_atomic(&idmaps_path(root), &idmaps)?;
+    Ok(())
+}
+
+/// Loads the sidecar payloads back into a `state` parsed from
+/// `state.json`. States from legacy stores (payloads inlined in the
+/// JSON) are left untouched; sidecar files simply missing beside an
+/// empty field are treated as an empty payload.
+pub fn attach_sidecars(state: &mut MhdState, root: &Path) -> io::Result<()> {
+    let bloom = bloom_path(root);
+    if state.bloom.is_empty() && bloom.exists() {
+        state.bloom = std::fs::read(&bloom)
+            .map_err(|e| io::Error::new(e.kind(), format!("read {}: {e}", bloom.display())))?;
+    }
+    let idmaps = idmaps_path(root);
+    if state.substrate.chunk_hashes.is_empty()
+        && state.substrate.manifest_sizes.is_empty()
+        && idmaps.exists()
+    {
+        let raw = std::fs::read(&idmaps)
+            .map_err(|e| io::Error::new(e.kind(), format!("read {}: {e}", idmaps.display())))?;
+        let (manifest_sizes, chunk_hashes) =
+            decode_idmaps(&raw).map_err(|e| invalid(format!("{}: {e}", idmaps.display())))?;
+        state.substrate.manifest_sizes = manifest_sizes;
+        state.substrate.chunk_hashes = chunk_hashes;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::type_complexity)]
+    fn sample_maps() -> (Vec<(u64, u64)>, Vec<(u64, String)>) {
+        let manifest_sizes = vec![(1, 512), (7, 40_960)];
+        let chunk_hashes =
+            vec![(3, "0123456789abcdef0123456789abcdef01234567".to_string()), (9, "f".repeat(40))];
+        (manifest_sizes, chunk_hashes)
+    }
+
+    #[test]
+    fn idmaps_round_trip() {
+        let (sizes, hashes) = sample_maps();
+        let raw = encode_idmaps(&sizes, &hashes).unwrap();
+        let (sizes2, hashes2) = decode_idmaps(&raw).unwrap();
+        assert_eq!(sizes, sizes2);
+        assert_eq!(hashes, hashes2);
+    }
+
+    #[test]
+    fn idmaps_rejects_malformed_hash() {
+        let err = encode_idmaps(&[], &[(1, "not-hex".into())]).unwrap_err();
+        assert!(err.to_string().contains("malformed hash"), "{err}");
+    }
+
+    #[test]
+    fn idmaps_rejects_truncation_and_bad_magic() {
+        let (sizes, hashes) = sample_maps();
+        let raw = encode_idmaps(&sizes, &hashes).unwrap();
+        assert!(decode_idmaps(&raw[..raw.len() - 1]).is_err());
+        let mut bad = raw.clone();
+        bad[0] ^= 0xff;
+        assert!(decode_idmaps(&bad).is_err());
+    }
+
+    #[test]
+    fn detach_then_attach_restores_state() {
+        let root =
+            std::env::temp_dir().join(format!("mhd-statefile-{}-{}", std::process::id(), line!()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("session")).unwrap();
+
+        let (sizes, hashes) = sample_maps();
+        let mut state = MhdState { bloom: vec![0xAB; 4096], ..Default::default() };
+        state.substrate.manifest_sizes = sizes.clone();
+        state.substrate.chunk_hashes = hashes.clone();
+        let full = state.clone();
+
+        detach_sidecars(&mut state, &root).unwrap();
+        assert!(state.bloom.is_empty());
+        assert!(state.substrate.chunk_hashes.is_empty());
+        assert!(bloom_path(&root).exists());
+        assert!(idmaps_path(&root).exists());
+
+        attach_sidecars(&mut state, &root).unwrap();
+        assert_eq!(state.bloom, full.bloom);
+        assert_eq!(state.substrate.manifest_sizes, sizes);
+        assert_eq!(state.substrate.chunk_hashes, hashes);
+
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn attach_leaves_legacy_inline_state_untouched() {
+        let root =
+            std::env::temp_dir().join(format!("mhd-statefile-{}-{}", std::process::id(), line!()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("session")).unwrap();
+        // A stale sidecar beside an inline state must not override it.
+        std::fs::write(bloom_path(&root), vec![0u8; 8]).unwrap();
+
+        let mut state = MhdState { bloom: vec![0xCD; 16], ..Default::default() };
+        attach_sidecars(&mut state, &root).unwrap();
+        assert_eq!(state.bloom, vec![0xCD; 16]);
+
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -95,6 +95,16 @@ impl SharedHookIndex {
     }
 }
 
+/// Staging engines (two-phase commits) probe the shared index as their
+/// hook-presence oracle: the whole store's hook population, lock-free,
+/// possibly slightly ahead of durable state — exactly the contract
+/// [`mhd_core::HookPresence`] documents.
+impl mhd_core::HookPresence for SharedHookIndex {
+    fn contains(&self, hash: &ChunkHash) -> bool {
+        SharedHookIndex::contains(self, hash)
+    }
+}
+
 /// The hash of a *plain* Hook object name (40 hex chars). Occurrence
 /// hooks (`hash-manifest`, SparseIndexing only) are not indexed.
 fn plain_hook_hash(name: &str) -> Option<ChunkHash> {

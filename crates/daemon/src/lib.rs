@@ -10,21 +10,24 @@
 //!
 //! # Architecture (DESIGN.md §10 has the full picture)
 //!
-//! * **One store, one engine.** All tenants share a single
-//!   [`BatchedDirBackend`](mhd_store::BatchedDirBackend) datastore and one
-//!   `MhdEngine` behind a lock, so cross-tenant duplicate data is stored
-//!   once — the whole point of a shared dedup store. Tenancy is a
-//!   *namespace* property: recipe names are prefixed `tenant/label/path`,
-//!   and every listing/restore is filtered by the tenant prefix, so
-//!   metadata never leaks across tenants even though chunks are shared.
-//! * **Sessions are staged, commits are atomic.** A write session stages
-//!   its files in memory ([`WriteSession`]); nothing touches the store
-//!   until `COMMIT`, which runs the dedup pipeline, flushes in
-//!   `FLUSH_ORDER`, persists the engine state, and only then
-//!   acknowledges. A crash mid-commit is rolled back at the next open by
-//!   the session **intent records** (`daemon/wip/<id>`) plus the
-//!   persisted id watermarks — the daemon-level reuse of the store's
-//!   tmp+rename intent discipline.
+//! * **One store, sharded commit work.** All tenants share a single
+//!   [`BatchedDirBackend`](mhd_store::BatchedDirBackend) datastore, so
+//!   cross-tenant duplicate data is stored once — the whole point of a
+//!   shared dedup store. Tenancy is a *namespace* property: recipe names
+//!   are prefixed `tenant/label/path`, and every listing/restore is
+//!   filtered by the tenant prefix, so metadata never leaks across
+//!   tenants even though chunks are shared.
+//! * **Sessions are staged, commits are atomic and two-phase.** A write
+//!   session stages its files in memory ([`WriteSession`]); nothing
+//!   touches the store until `COMMIT`. The commit's dedup pipeline runs
+//!   *outside* the engine lock on a per-session [`StagingBackend`]
+//!   (hook probes against the lock-free index), and only the short
+//!   publish phase — id-range reservation, `FLUSH_ORDER` splice, state
+//!   persist — serialises, so aggregate throughput grows with session
+//!   count. A crash mid-commit is rolled back at the next open by the
+//!   session **intent records** (`daemon/wip/<id>`) plus the persisted
+//!   id watermarks — the daemon-level reuse of the store's tmp+rename
+//!   intent discipline.
 //! * **GC is watermark-protected.** Chunk ids are monotonic, so each
 //!   session registers the id watermark at open
 //!   ([`SessionRegistry`]); garbage collection sweeps only below
@@ -74,6 +77,7 @@ mod protocol;
 mod registry;
 mod server;
 mod shared;
+mod staging;
 
 pub use client::{Client, CommitSummary};
 pub use error::{DaemonError, DaemonResult};
@@ -84,3 +88,4 @@ pub use server::{Daemon, ServeHandle};
 pub use shared::{
     CommitReport, DaemonConfig, DaemonStats, RecoverySummary, SharedStore, WriteSession,
 };
+pub use staging::{Overlay, StagingBackend};

@@ -13,9 +13,14 @@
 //! The registry also owns stream-prefix exclusivity: two sessions may not
 //! write the same `tenant/label` stream concurrently.
 //!
-//! The interleaving-sensitive part of this protocol (register before
-//! first write; cutoff = min of registered watermarks) is model-checked
-//! exhaustively by `mhd-lint --mutant gc-protect`.
+//! Under two-phase commits the watermark is captured at `BEGIN`, *before*
+//! the session's pipeline runs: every id the session later reserves in
+//! its publish phase is allocated after registration and therefore at or
+//! above its watermark, so staged splices are protected from the moment
+//! they hit disk. The interleaving-sensitive parts of this protocol
+//! (register before reserve; splice before publishing a recipe; cutoff =
+//! min of registered watermarks) are model-checked exhaustively by
+//! `mhd-lint --mutant gc-protect` and `--mutant splice-order`.
 
 use mhd_hash::FxHashMap;
 use parking_lot::Mutex;

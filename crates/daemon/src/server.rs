@@ -3,10 +3,14 @@
 //!
 //! One thread per connection; each handler owns its connection state (the
 //! attached tenant and at most one [`WriteSession`]) and calls into the
-//! [`SharedStore`], which serialises actual store mutation internally.
-//! Reads use short timeouts so every handler notices the shutdown flag
-//! promptly; a connection that drops mid-session gets its session aborted
-//! by the handler's cleanup path.
+//! [`SharedStore`]. Concurrency is the store's problem, not the
+//! handler's: commit pipelines run in parallel on per-session staging
+//! substrates and only the short publish phase serialises (two-phase
+//! commit, DESIGN.md §10), while restores and listings use a lock-free
+//! read view — so handler threads genuinely overlap, they don't just
+//! queue. Reads use short timeouts so every handler notices the shutdown
+//! flag promptly; a connection that drops mid-session gets its session
+//! aborted by the handler's cleanup path.
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -119,10 +123,16 @@ impl Daemon {
         let socket: PathBuf = socket.to_path_buf();
         let target = socket.clone();
         let thread = std::thread::spawn(move || self.serve(&target));
-        // Wait (bounded, generous under CPU contention) for the socket to
-        // appear so a caller can connect immediately after spawn() returns.
+        // Wait (bounded, generous under CPU contention) until the daemon
+        // actually accepts connections, so a caller can connect
+        // immediately after spawn() returns. Checking that the socket
+        // file exists is not enough: bind() creates the file before
+        // listen() runs, and a connect inside that window is refused —
+        // on a contended box the serve thread can sit preempted there
+        // for a while. A successful probe connect (dropped at once; the
+        // handler reads EOF and ends) proves the listener is live.
         for _ in 0..3000 {
-            if socket.exists() {
+            if socket.exists() && std::os::unix::net::UnixStream::connect(&socket).is_ok() {
                 break;
             }
             if thread.is_finished() {

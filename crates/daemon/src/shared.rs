@@ -1,7 +1,8 @@
-//! The shared datastore: one engine, many tenants, crash-safe sessions.
+//! The shared datastore: one store, many tenants, crash-safe sessions,
+//! two-phase parallel commits.
 //!
-//! [`SharedStore`] owns the single `MhdEngine` every connection writes
-//! through, plus the pieces that make concurrent use safe:
+//! [`SharedStore`] owns the durable `MhdEngine` plus the pieces that make
+//! concurrent use safe:
 //!
 //! * a [`SessionRegistry`] so GC never sweeps what an open session might
 //!   still reference (watermark protection),
@@ -11,6 +12,23 @@
 //!   reuse of the store's tmp+rename discipline: a record is written
 //!   atomically at `BEGIN` and removed only after the commit is fully
 //!   persisted, so the next open knows exactly which streams were torn.
+//!
+//! # Two-phase commits
+//!
+//! `COMMIT` no longer serialises the dedup pipeline on the engine lock.
+//! **Phase 1** (stage `commit.pipeline`, no lock) runs the full BF-MHD
+//! pipeline on a throwaway engine over a [`StagingBackend`]: reads fall
+//! through to the shared store's directory tree, hook probes go to the
+//! lock-free [`SharedHookIndex`] (the engine's presence oracle), and all
+//! writes land in an in-memory overlay under a private id range
+//! ([`LOCAL_ID_BASE`] and up). Any number of sessions run phase 1
+//! concurrently. **Phase 2** (stage `commit.publish`, engine lock held)
+//! is O(metadata): it validates the pipeline's view against hooks other
+//! sessions published meanwhile (retrying phase 1 on a real conflict, so
+//! shared content is stored once), reserves real id ranges, splices the
+//! staged objects in `FLUSH_ORDER`, absorbs the session's counters,
+//! flushes, and persists the watermark. `RESTORE`/`LS` use a read-only
+//! directory view and take no lock at all.
 //!
 //! # On-disk layout
 //!
@@ -37,15 +55,19 @@
 //! with no `state.json` at all has never committed, so the floor is zero
 //! and the wipe is total — correct by the same rule.
 
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use mhd_core::gc::GcReport;
-use mhd_core::{Deduplicator, EngineConfig, MhdEngine, MhdState};
-use mhd_hash::FxHashSet;
-use mhd_store::{safe_name, Backend, BatchedDirBackend, FileKind, IoConfig};
+use mhd_core::{Deduplicator, EngineConfig, MhdEngine, MhdState, SessionDelta};
+use mhd_hash::{ChunkHash, FxHashSet};
+use mhd_store::{
+    safe_name, Backend, BatchedDirBackend, DirBackend, DiskChunkId, Durability, FaultBackend,
+    FaultPoint, FileKind, FileManifest, IoConfig, Manifest, ManifestId, Substrate,
+};
 use mhd_workload::{FileEntry, Snapshot};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -54,9 +76,31 @@ use crate::error::{DaemonError, DaemonResult};
 use crate::index::{IndexingBackend, SharedHookIndex};
 use crate::protocol::{valid_path, valid_tenant, MAX_FILE_BYTES};
 use crate::registry::SessionRegistry;
+use crate::staging::StagingBackend;
 
-/// The backend stack every daemon store runs on.
-type DaemonBackend = IndexingBackend<BatchedDirBackend>;
+/// The backend stack every daemon store runs on. The fault layer is
+/// disarmed by default ([`FaultPoint::never`]) and exists so tests can
+/// fail the publish step of a live commit ([`SharedStore::arm_fault`]).
+type DaemonBackend = IndexingBackend<FaultBackend<BatchedDirBackend>>;
+
+/// Id floor for staging engines: phase-1 objects are allocated at or
+/// above this base, far beyond any real store id, so a staged id can
+/// never collide with a read-through shared id and the publish remap is
+/// a simple subtraction.
+const LOCAL_ID_BASE: u64 = 1 << 48;
+
+/// A conflicted commit re-runs phase 1 at most this many times before
+/// publishing anyway — still correct, just storing some duplicate chunks
+/// (which the within-tolerance dedup-equivalence bound accounts for). A
+/// retry costs one staged pipeline run (milliseconds), so the budget is
+/// generous: exhausting it needs a fresh racing publish on every attempt,
+/// which heavy day-0 hook sharing can produce under oversubscription.
+const MAX_COMMIT_RETRIES: u32 = 8;
+
+/// How many recent publishes keep their hook-hash sets for conflict
+/// detection. A pipeline that started more than this many publishes ago
+/// is conservatively treated as conflicted.
+const PUBLISH_LOG: usize = 64;
 
 /// Tuning for [`SharedStore::open`].
 #[derive(Debug, Clone)]
@@ -222,18 +266,25 @@ impl WriteSession {
 struct StoreInner {
     engine: MhdEngine<DaemonBackend>,
     streams: u64,
+    /// Monotonic publish sequence: bumped once per committed session.
+    epoch: u64,
+    /// Hook hashes of the last [`PUBLISH_LOG`] publishes, tagged by the
+    /// epoch that produced them, for phase-2 conflict detection.
+    publish_log: VecDeque<(u64, FxHashSet<ChunkHash>)>,
 }
 
-/// The one store all sessions share. Cheap to clone via `Arc`; all
-/// mutating methods serialise on the internal engine lock, while
-/// [`have`](SharedStore::have) and [`stats`](SharedStore::stats) read the
-/// shared index and registry without it.
+/// The one store all sessions share. Commit pipelines, `HAVE`, `RESTORE`
+/// and `LS` run without the engine lock; only the publish phase of a
+/// commit, `BEGIN`, `GC`, `FSCK` and `STATS` serialise on it (see the
+/// module docs for the two-phase commit protocol).
 pub struct SharedStore {
     inner: Mutex<StoreInner>,
     index: Arc<SharedHookIndex>,
     registry: SessionRegistry,
     root: PathBuf,
     next_session: AtomicU64,
+    /// Lock-free mirror of `StoreInner::epoch`, read at phase-1 start.
+    epoch: AtomicU64,
     recovery: RecoverySummary,
     ecs: usize,
     sd: usize,
@@ -303,6 +354,7 @@ impl SharedStore {
         let backend_recovery = backend.recover()?;
 
         let index = Arc::new(SharedHookIndex::new(config.index_shards));
+        let backend = FaultBackend::with_point(backend, FaultPoint::never());
         let mut backend = IndexingBackend::new(backend, index.clone());
 
         // The persisted engine state is the durable commit watermark.
@@ -310,11 +362,15 @@ impl SharedStore {
         let state: Option<MhdState> = if state_path.exists() {
             let data = std::fs::read(&state_path)
                 .map_err(|e| DaemonError::State(format!("read {}: {e}", state_path.display())))?;
-            Some(
-                serde_json::from_slice(&data).map_err(|e| {
-                    DaemonError::State(format!("parse {}: {e}", state_path.display()))
-                })?,
-            )
+            let mut state: MhdState = serde_json::from_slice(&data)
+                .map_err(|e| DaemonError::State(format!("parse {}: {e}", state_path.display())))?;
+            // Newer stores persist the Bloom filter and the id→hash/size
+            // maps as binary sidecars (see `persist_locked`); older ones
+            // inline them in the JSON. The same logic serves the CLI, so
+            // either front end opens stores the other wrote.
+            mhd_core::statefile::attach_sidecars(&mut state, root)
+                .map_err(|e| DaemonError::State(e.to_string()))?;
+            Some(state)
         } else {
             None
         };
@@ -345,11 +401,17 @@ impl SharedStore {
         mhd_obs::counter!("daemon.index_preloaded").add(loaded as u64);
 
         let store = SharedStore {
-            inner: Mutex::new(StoreInner { engine, streams: meta.streams }),
+            inner: Mutex::new(StoreInner {
+                engine,
+                streams: meta.streams,
+                epoch: 0,
+                publish_log: VecDeque::new(),
+            }),
             index,
             registry: SessionRegistry::new(),
             root: root.to_path_buf(),
             next_session: AtomicU64::new(1),
+            epoch: AtomicU64::new(0),
             recovery,
             ecs: meta.ecs,
             sd: meta.sd,
@@ -470,7 +532,18 @@ impl SharedStore {
         sd: usize,
         inner: &mut StoreInner,
     ) -> DaemonResult<()> {
-        let state = inner.engine.export_state();
+        let mut state = inner.engine.export_state();
+        // The bulky parts of the state — the Bloom filter (megabytes of
+        // raw bits) and the per-chunk hash / per-manifest size maps —
+        // used to be inlined in the state JSON, where serde renders them
+        // as one JSON node per byte/entry. That made every commit's
+        // persistence O(store) in JSON nodes and was by far the widest
+        // part of the serialized publish phase. Both now go to binary
+        // sidecars (written first — `mhd_core::statefile` documents the
+        // crash-ordering argument), and the JSON keeps only the O(1)
+        // counters and watermarks.
+        mhd_core::statefile::detach_sidecars(&mut state, root)
+            .map_err(|e| DaemonError::State(e.to_string()))?;
         let state_json = serde_json::to_vec(&state)
             .map_err(|e| DaemonError::State(format!("encode state: {e}")))?;
         write_atomic(&Self::state_path(root), &state_json)?;
@@ -531,11 +604,13 @@ impl SharedStore {
         })
     }
 
-    /// Commits a staged session: runs the dedup pipeline, flushes in
-    /// `FLUSH_ORDER`, persists the watermark, and only then retires the
-    /// intent record and releases the stream lease. A crash anywhere
-    /// before the intent record is removed is rolled back at the next
-    /// open.
+    /// Commits a staged session with the two-phase protocol (module
+    /// docs): the dedup pipeline runs outside the engine lock, the lock
+    /// is taken only to validate, splice the staged objects in
+    /// `FLUSH_ORDER`, and persist the watermark. The intent record is
+    /// retired and the stream lease released on **every** exit path —
+    /// success, pipeline error, or publish/persist failure — so a failed
+    /// commit never leaves the stream un-writable or GC pinned.
     pub fn commit(&self, session: WriteSession) -> DaemonResult<CommitReport> {
         if session.files.is_empty() {
             self.abort(session);
@@ -544,38 +619,274 @@ impl SharedStore {
         let _scope = mhd_obs::scope!("tenant={}", session.tenant);
         let files = session.files.len() as u64;
         let input_bytes = session.staged_bytes;
-        let snapshot = Snapshot { machine: 0, day: 0, files: session.files };
+        // `Bytes` clones are refcounted: retries re-read, not re-copy.
+        let snapshot = Snapshot { machine: 0, day: 0, files: session.files.clone() };
 
-        let mut inner = self.inner.lock();
-        let before = inner.engine.substrate().ledger().total_output_bytes();
-        if let Err(e) = inner
-            .engine
-            .process_snapshot(&snapshot)
-            .map_err(DaemonError::Engine)
-            .and_then(|()| inner.engine.finish().map(|_| ()).map_err(DaemonError::Engine))
-        {
-            // Best effort: drop whatever recipes landed so the stream name
-            // is reusable; unreferenced chunks wait for GC.
-            let recipe_prefix = safe_name(&format!("{}/{}/", session.tenant, session.label));
-            let _ = mhd_core::gc::delete_stream(inner.engine.substrate_mut(), &recipe_prefix);
-            let _ = Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner);
-            drop(inner);
-            self.cleanup_session(&session.tenant, &session.label, session.sid);
-            return Err(e);
+        let mut attempt = 0u32;
+        loop {
+            let epoch0 = self.epoch.load(Ordering::Acquire);
+
+            // Phase 1: the full dedup pipeline against a staging engine,
+            // concurrent with other sessions' pipelines and publishes.
+            let pipeline = mhd_obs::stage("commit.pipeline");
+            let pipeline_timer = mhd_obs::span!("daemon.commit_pipeline_ns");
+            let mut staging = match self.build_staging_engine() {
+                Ok(s) => s,
+                Err(e) => {
+                    self.cleanup_session(&session.tenant, &session.label, session.sid);
+                    return Err(e);
+                }
+            };
+            let ran =
+                staging.process_snapshot(&snapshot).and_then(|()| staging.finish().map(|_| ()));
+            drop(pipeline_timer);
+            drop(pipeline);
+            if let Err(e) = ran {
+                // Nothing touched the shared store: staging writes are in
+                // memory. Release the lease and intent record.
+                self.cleanup_session(&session.tenant, &session.label, session.sid);
+                return Err(DaemonError::Engine(e));
+            }
+            let missed = staging.take_missed_hashes();
+
+            // Phase 2: validate, reserve, splice, persist — O(metadata),
+            // under the lock.
+            let _publish = mhd_obs::stage("commit.publish");
+            let _publish_timer = mhd_obs::span!("daemon.commit_publish_ns");
+            let mut inner = self.inner.lock();
+            if attempt < MAX_COMMIT_RETRIES && Self::conflicts(&inner, epoch0, &missed) {
+                drop(inner);
+                attempt += 1;
+                mhd_obs::counter!("daemon.commit_retries").inc();
+                continue;
+            }
+
+            let before = inner.engine.substrate().ledger().total_output_bytes();
+            let result = {
+                let _t = mhd_obs::span!("daemon.commit_splice_ns");
+                Self::splice_locked(&mut inner, staging)
+            }
+            .and_then(|hook_hashes| {
+                inner.streams += 1;
+                let _t = mhd_obs::span!("daemon.commit_persist_ns");
+                match Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner) {
+                    Ok(()) => Ok(hook_hashes),
+                    Err(e) => {
+                        inner.streams -= 1;
+                        Err(e)
+                    }
+                }
+            });
+            return match result {
+                Ok(hook_hashes) => {
+                    inner.epoch += 1;
+                    let epoch = inner.epoch;
+                    inner.publish_log.push_back((epoch, hook_hashes));
+                    while inner.publish_log.len() > PUBLISH_LOG {
+                        inner.publish_log.pop_front();
+                    }
+                    self.epoch.store(epoch, Ordering::Release);
+                    let grown_bytes = inner
+                        .engine
+                        .substrate()
+                        .ledger()
+                        .total_output_bytes()
+                        .saturating_sub(before);
+                    drop(inner);
+                    // Commit is durable; only now retire the intent
+                    // record. A crash between persist and this point
+                    // re-deletes nothing at recovery (everything is below
+                    // the new watermark) except the recipes — exactly the
+                    // unacknowledged-commit semantics we want.
+                    self.cleanup_session(&session.tenant, &session.label, session.sid);
+                    mhd_obs::counter!("daemon.commits").inc();
+                    Ok(CommitReport { files, input_bytes, grown_bytes })
+                }
+                Err(e) => {
+                    // Splice or persist failed. Roll the visible parts
+                    // back and — the fix for the leaked-lease bug —
+                    // release the lease and intent record before
+                    // surfacing the error, so the stream stays writable
+                    // and GC unpinned.
+                    let recipe_prefix =
+                        safe_name(&format!("{}/{}/", session.tenant, session.label));
+                    Self::undo_failed_publish(&mut inner, &recipe_prefix);
+                    let _ = Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner);
+                    drop(inner);
+                    self.cleanup_session(&session.tenant, &session.label, session.sid);
+                    Err(e)
+                }
+            };
         }
-        inner.streams += 1;
-        Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner)?;
-        let grown_bytes =
-            inner.engine.substrate().ledger().total_output_bytes().saturating_sub(before);
-        drop(inner);
+    }
 
-        // Commit is durable; only now retire the intent record. A crash
-        // between persist and this point re-deletes nothing at recovery
-        // (everything is below the new watermark) except the recipes —
-        // which is exactly the unacknowledged-commit semantics we want.
-        self.cleanup_session(&session.tenant, &session.label, session.sid);
-        mhd_obs::counter!("daemon.commits").inc();
-        Ok(CommitReport { files, input_bytes, grown_bytes })
+    /// Builds the phase-1 engine: a staging backend over the store root,
+    /// ids floored at [`LOCAL_ID_BASE`], the shared hook index installed
+    /// as the presence oracle.
+    fn build_staging_engine(&self) -> DaemonResult<MhdEngine<StagingBackend>> {
+        let backend = StagingBackend::over(&self.root)?;
+        let mut engine = MhdEngine::new(backend, EngineConfig::new(self.ecs, self.sd))?;
+        engine.substrate_mut().ensure_id_floor(LOCAL_ID_BASE, LOCAL_ID_BASE);
+        engine.set_hook_presence(self.index.clone());
+        Ok(engine)
+    }
+
+    /// Whether a pipeline that started at `epoch0` deduplicated against a
+    /// stale view: true when any hash it *missed* was published as a hook
+    /// by a session that committed after `epoch0` (the pipeline would
+    /// have found it, so its staged objects duplicate stored content), or
+    /// when the publish log no longer reaches back that far.
+    fn conflicts(inner: &StoreInner, epoch0: u64, missed: &FxHashSet<ChunkHash>) -> bool {
+        if inner.epoch == epoch0 || missed.is_empty() {
+            // No publishes raced the pipeline, or the pipeline found
+            // everything it looked for — either way its view was exact.
+            return false;
+        }
+        match inner.publish_log.front() {
+            // The log was truncated past the pipeline's start: be
+            // conservative and retry against the fresher view.
+            Some(&(oldest, _)) if oldest > epoch0 + 1 => true,
+            None => true,
+            _ => inner
+                .publish_log
+                .iter()
+                .any(|(epoch, hashes)| *epoch > epoch0 && !hashes.is_disjoint(missed)),
+        }
+    }
+
+    /// Splices one staged session into the shared store, in
+    /// `FLUSH_ORDER`: reserves real id ranges, remaps the session's
+    /// private ids onto them, writes chunks → manifests → hooks →
+    /// recipes through the shared substrate (so ledger accounting and the
+    /// write-through hook index stay exact), absorbs the session's
+    /// counters, and flushes. Returns the hook hashes published.
+    fn splice_locked(
+        inner: &mut StoreInner,
+        mut staging: MhdEngine<StagingBackend>,
+    ) -> DaemonResult<FxHashSet<ChunkHash>> {
+        let delta: SessionDelta = staging.export_delta();
+        let chunk_span = staging.substrate().chunk_id_watermark() - LOCAL_ID_BASE;
+        let manifest_span = staging.substrate().manifest_id_watermark() - LOCAL_ID_BASE;
+        let overlay = staging.substrate_mut().backend_mut().take_staged();
+
+        let parse_id = |name: &str| -> DaemonResult<u64> {
+            u64::from_str_radix(name, 16)
+                .map_err(|_| DaemonError::State(format!("staged object with odd name {name:?}")))
+        };
+
+        let sub = inner.engine.substrate_mut();
+        let chunk_base = sub.reserve_chunk_ids(chunk_span);
+        let manifest_base = sub.reserve_manifest_ids(manifest_span);
+        let map_chunk = move |id: DiskChunkId| {
+            if id.0 >= LOCAL_ID_BASE {
+                DiskChunkId(id.0 - LOCAL_ID_BASE + chunk_base)
+            } else {
+                id
+            }
+        };
+        let map_manifest = move |id: ManifestId| {
+            if id.0 >= LOCAL_ID_BASE {
+                ManifestId(id.0 - LOCAL_ID_BASE + manifest_base)
+            } else {
+                id
+            }
+        };
+
+        // 1. DiskChunks (content hashes were recorded when staging sealed
+        //    them; the splice re-registers them for compaction/GC).
+        for (name, data) in overlay.fresh_of(FileKind::DiskChunk) {
+            let local = DiskChunkId(parse_id(name)?);
+            let hash = staging.substrate().disk_chunk_hash(local).ok_or_else(|| {
+                DaemonError::State(format!("staged chunk {name} lost its content hash"))
+            })?;
+            sub.splice_disk_chunk(map_chunk(local), data, hash)?;
+        }
+
+        // 2. Manifests: the session's own (remap id and containers)…
+        for (name, data) in overlay.fresh_of(FileKind::Manifest) {
+            let local = ManifestId(parse_id(name)?);
+            let mut manifest = Manifest::decode(local, data)?;
+            manifest.id = map_manifest(local);
+            for entry in &mut manifest.entries {
+                entry.container = map_chunk(entry.container);
+            }
+            sub.write_manifest(&manifest)?;
+        }
+        //    …then copy-on-write rewrites of *shared* manifests (HHR
+        //    write-backs against pre-existing streams). The original may
+        //    have been GC'd or concurrently rewritten since phase 1
+        //    copied it; skipping a vanished one is safe — manifests are
+        //    dedup metadata, restores go through FileManifests, and a
+        //    lost concurrent rewrite leaves a still-valid older tiling.
+        for (name, data) in overlay.updated_of(FileKind::Manifest) {
+            let id = ManifestId(parse_id(name)?);
+            if !sub.manifest_exists(id) {
+                continue;
+            }
+            let mut manifest = Manifest::decode(id, data)?;
+            for entry in &mut manifest.entries {
+                entry.container = map_chunk(entry.container);
+            }
+            sub.update_manifest(&manifest)?;
+        }
+
+        // 3. Hooks: name is the chunk hash, payload's first 8 LE bytes
+        //    the target manifest id. write_hook's exists-guard keeps the
+        //    store-wide first-mapping-wins rule under concurrency.
+        let mut hook_hashes = FxHashSet::default();
+        for (name, payload) in overlay.fresh_of(FileKind::Hook) {
+            let hash = ChunkHash::from_hex(name)
+                .map_err(|e| DaemonError::State(format!("staged hook name {name:?}: {e}")))?;
+            let raw: [u8; 8] =
+                payload.get(..8).and_then(|b| b.try_into().ok()).ok_or_else(|| {
+                    DaemonError::State(format!("staged hook {name} payload truncated"))
+                })?;
+            let target = map_manifest(ManifestId(u64::from_le_bytes(raw)));
+            sub.write_hook(hash, target)?;
+            hook_hashes.insert(hash);
+        }
+
+        // 4. FileManifests (recipes) — last, per FLUSH_ORDER.
+        for (name, data) in overlay.fresh_of(FileKind::FileManifest) {
+            let staged = FileManifest::decode(data)?;
+            let mut recipe = FileManifest::new();
+            for extent in staged.extents() {
+                recipe
+                    .push(mhd_store::Extent { container: map_chunk(extent.container), ..*extent });
+            }
+            sub.write_file_manifest(name, &recipe)?;
+        }
+
+        sub.flush()?;
+        let hashes: Vec<ChunkHash> = hook_hashes.iter().copied().collect();
+        inner.engine.absorb_delta(&delta, &hashes);
+        Ok(hook_hashes)
+    }
+
+    /// Best-effort rollback after a failed splice or persist: deletes the
+    /// session's recipes (so the stream name is reusable and no recipe
+    /// can outlive the objects a later open-time rollback may delete) and
+    /// flushes the deletions — they must be durable *before* the wip
+    /// record is removed, because open-time recovery only rolls back
+    /// recipes named by a wip record. Orphaned chunks/manifests/hooks
+    /// stay as unreferenced garbage above the persisted watermark: a
+    /// later protected GC or the next open-time rollback reclaims them.
+    fn undo_failed_publish(inner: &mut StoreInner, recipe_prefix: &str) {
+        let sub = inner.engine.substrate_mut();
+        for name in sub.list_file_manifests() {
+            if name.starts_with(recipe_prefix) {
+                let _ = sub.delete_file_manifest(&name);
+            }
+        }
+        let _ = sub.flush();
+    }
+
+    /// Arms (or, with [`FaultPoint::never`], disarms) the fault-injection
+    /// layer in the daemon's backend stack. Test instrumentation for the
+    /// commit failure paths; the layer never fires unless armed.
+    pub fn arm_fault(&self, point: FaultPoint) {
+        let mut inner = self.inner.lock();
+        inner.engine.substrate_mut().backend_mut().inner_mut().arm(point);
     }
 
     /// Discards a staged session. Nothing reached the store, so this only
@@ -592,27 +903,35 @@ impl SharedStore {
         self.registry.deregister(sid);
     }
 
+    /// A throwaway read-only substrate over the store's directory tree.
+    /// Safe without the engine lock: commits flush (in `FLUSH_ORDER`)
+    /// before they acknowledge, so every listed recipe is complete on
+    /// disk, and GC marks recipes live before sweeping.
+    fn read_view(&self) -> DaemonResult<Substrate<DirBackend>> {
+        Ok(Substrate::new(DirBackend::create_with(&self.root, Durability::None)?))
+    }
+
     /// Restores one file. `name` is tenant-relative (`label/path`, as
-    /// listed by [`list`](SharedStore::list)).
+    /// listed by [`list`](SharedStore::list)). Runs on a read-only view —
+    /// a large restore never blocks commits.
     pub fn restore(&self, tenant: &str, name: &str) -> DaemonResult<Vec<u8>> {
         if !valid_tenant(tenant) {
             return Err(DaemonError::Protocol(format!("invalid tenant name {tenant:?}")));
         }
         let full = format!("{tenant}/{name}");
-        let mut inner = self.inner.lock();
-        Ok(mhd_core::restore::restore_file(inner.engine.substrate_mut(), &full)?)
+        let mut view = self.read_view()?;
+        Ok(mhd_core::restore::restore_file(&mut view, &full)?)
     }
 
-    /// Lists `tenant`'s recipes, tenant prefix stripped.
+    /// Lists `tenant`'s recipes, tenant prefix stripped. Lock-free, like
+    /// [`restore`](SharedStore::restore).
     pub fn list(&self, tenant: &str) -> DaemonResult<Vec<String>> {
         if !valid_tenant(tenant) {
             return Err(DaemonError::Protocol(format!("invalid tenant name {tenant:?}")));
         }
         let prefix = safe_name(&format!("{tenant}/"));
-        let mut inner = self.inner.lock();
-        Ok(inner
-            .engine
-            .substrate_mut()
+        let mut view = self.read_view()?;
+        Ok(view
             .list_file_manifests()
             .into_iter()
             .filter_map(|n| n.strip_prefix(&prefix).map(str::to_string))
@@ -868,6 +1187,126 @@ mod tests {
         );
         assert_eq!(store.restore("t", "day1/img").unwrap(), data);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn publish_failure_releases_lease_and_gc_recovers() {
+        let root = temp_root("faultpub");
+        let store = SharedStore::open(&root, small_config()).unwrap();
+        let data = random_bytes(11, 40_000);
+
+        // Fail the first Manifest write of the publish splice: the
+        // session's chunks are already on disk, its manifests are not.
+        let mut s = store.begin_session("t", "d").unwrap();
+        s.stage("f", &data).unwrap();
+        store.arm_fault(FaultPoint::write(Some(FileKind::Manifest), 0));
+        assert!(store.commit(s).is_err(), "injected fault must surface");
+        store.arm_fault(FaultPoint::never());
+
+        // The lease and the intent record are released — the stream is
+        // not stuck and GC is not pinned at a dead session's watermark.
+        assert_eq!(store.registry().active(), 0);
+        assert_eq!(std::fs::read_dir(SharedStore::wip_dir(&root)).unwrap().count(), 0);
+
+        // The GC cutoff recovered: a run reclaims the orphaned splice.
+        let report = store.gc().unwrap();
+        assert!(report.containers_deleted >= 1, "orphans must be swept: {report:?}");
+
+        // A retry of the very same tenant/label succeeds end to end.
+        let mut s = store.begin_session("t", "d").unwrap();
+        s.stage("f", &data).unwrap();
+        store.commit(s).unwrap();
+        assert_eq!(store.restore("t", "d/f").unwrap(), data);
+        assert!(store.fsck().is_healthy());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn persist_failure_releases_lease_and_retry_succeeds() {
+        let root = temp_root("faultpersist");
+        let store = SharedStore::open(&root, small_config()).unwrap();
+        let data0 = random_bytes(12, 40_000);
+        let mut s = store.begin_session("t", "d0").unwrap();
+        s.stage("f", &data0).unwrap();
+        store.commit(s).unwrap();
+
+        // Make `state.json` unwritable: rename cannot replace a directory.
+        let state = root.join("session/state.json");
+        std::fs::remove_file(&state).unwrap();
+        std::fs::create_dir(&state).unwrap();
+
+        let data1 = random_bytes(13, 40_000);
+        let mut s = store.begin_session("t", "d1").unwrap();
+        s.stage("f", &data1).unwrap();
+        assert!(store.commit(s).is_err(), "persist failure must surface");
+
+        // The historical bug: this path leaked the registry lease and the
+        // wip intent record, wedging the stream until restart.
+        assert_eq!(store.registry().active(), 0);
+        assert_eq!(std::fs::read_dir(SharedStore::wip_dir(&root)).unwrap().count(), 0);
+
+        // Repair the state path; the same stream commits cleanly.
+        std::fs::remove_dir(&state).unwrap();
+        let mut s = store.begin_session("t", "d1").unwrap();
+        s.stage("f", &data1).unwrap();
+        store.commit(s).unwrap();
+        assert_eq!(store.restore("t", "d1/f").unwrap(), data1);
+        assert_eq!(store.restore("t", "d0/f").unwrap(), data0);
+        let _ = store.gc().unwrap();
+        assert!(store.fsck().is_healthy());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn parallel_commits_match_serial_dedup_within_tolerance() {
+        // Four machines share a 60 KiB OS base plus a unique tail — the
+        // pathological day-0 race where every session misses the base
+        // hooks at once. Optimistic publish-time validation must make the
+        // parallel run store the base once, like the serial run does.
+        let base = random_bytes(20, 60_000);
+        let datas: Vec<Vec<u8>> = (0..4u64)
+            .map(|i| {
+                let mut d = base.clone();
+                d.extend_from_slice(&random_bytes(21 + i, 20_000));
+                d
+            })
+            .collect();
+
+        let serial_root = temp_root("eqserial");
+        let serial = SharedStore::open(&serial_root, small_config()).unwrap();
+        for (i, data) in datas.iter().enumerate() {
+            let mut s = serial.begin_session("t", &format!("m{i}")).unwrap();
+            s.stage("disk.img", data).unwrap();
+            serial.commit(s).unwrap();
+        }
+        let serial_chunks = serial.stats().chunks_stored;
+
+        let par_root = temp_root("eqpar");
+        let par = Arc::new(SharedStore::open(&par_root, small_config()).unwrap());
+        std::thread::scope(|scope| {
+            for (i, data) in datas.iter().enumerate() {
+                let par = Arc::clone(&par);
+                scope.spawn(move || {
+                    let mut s = par.begin_session("t", &format!("m{i}")).unwrap();
+                    s.stage("disk.img", data).unwrap();
+                    par.commit(s).unwrap();
+                });
+            }
+        });
+
+        let par_chunks = par.stats().chunks_stored;
+        assert!(
+            par_chunks.abs_diff(serial_chunks) <= 2,
+            "parallel dedup must match serial within the hysteresis \
+             tolerance: serial {serial_chunks}, parallel {par_chunks}"
+        );
+        for (i, data) in datas.iter().enumerate() {
+            assert_eq!(&par.restore("t", &format!("m{i}/disk.img")).unwrap(), data);
+        }
+        assert_eq!(par.registry().active(), 0);
+        assert!(par.fsck().is_healthy());
+        std::fs::remove_dir_all(&serial_root).unwrap();
+        std::fs::remove_dir_all(&par_root).unwrap();
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! The per-session staging substrate behind two-phase commits.
+//!
+//! Phase 1 of a daemon commit runs a full dedup pipeline *outside* the
+//! engine lock. [`StagingBackend`] is the backend that pipeline runs on:
+//! reads fall through to a read-only directory view of the shared store,
+//! while writes land in in-memory overlays — [`Overlay::fresh`] for
+//! brand-new objects (the session's chunks, manifests, hooks and recipes,
+//! allocated in a private id range far above the shared store's) and
+//! [`Overlay::updated`] for copy-on-write rewrites of shared manifests
+//! (HHR write-backs). Phase 2 drains the overlays with
+//! [`StagingBackend::take_staged`] and splices them into the shared store
+//! under the lock.
+//!
+//! The base view reads the directory tree directly, so it only observes
+//! objects the durable backend has flushed. The shared store flushes in
+//! `FileKind::FLUSH_ORDER` (referee before referrer), which gives the
+//! staging pipeline the invariant it needs: a visible manifest implies
+//! its chunks are visible. The one racy edge — the lock-free hook index
+//! claiming a hook whose manifest is not flushed yet — is tolerated by
+//! the engine's presence-oracle mode (a missing manifest degrades to a
+//! lookup miss).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use bytes::Bytes;
+use mhd_store::{
+    Backend, DirBackend, Durability, FileKind, RecoveryReport, StoreError, StoreResult,
+};
+
+/// The staged writes of one commit pipeline, keyed by object name within
+/// each kind. `BTreeMap` keeps splice order deterministic (name order
+/// equals id order for fixed-width hex names).
+#[derive(Debug, Default)]
+pub struct Overlay {
+    /// Brand-new objects, named in the session's private id range (or by
+    /// content hash, for hooks; by recipe name, for file manifests).
+    pub fresh: [BTreeMap<String, Vec<u8>>; 4],
+    /// Copy-on-write rewrites of objects that exist in the shared store
+    /// (only manifests: the HHR write-back is the sole mutation in the
+    /// system).
+    pub updated: [BTreeMap<String, Vec<u8>>; 4],
+}
+
+/// Index of `kind` into the per-kind overlay arrays.
+fn slot(kind: FileKind) -> usize {
+    match kind {
+        FileKind::DiskChunk => 0,
+        FileKind::Manifest => 1,
+        FileKind::Hook => 2,
+        FileKind::FileManifest => 3,
+    }
+}
+
+impl Overlay {
+    /// The fresh objects of one kind, in name order.
+    pub fn fresh_of(&self, kind: FileKind) -> &BTreeMap<String, Vec<u8>> {
+        &self.fresh[slot(kind)]
+    }
+
+    /// The copy-on-write rewrites of one kind, in name order.
+    pub fn updated_of(&self, kind: FileKind) -> &BTreeMap<String, Vec<u8>> {
+        &self.updated[slot(kind)]
+    }
+}
+
+/// Copy-on-write backend for one staging pipeline: reads fall through to
+/// a read-only view of the shared store's directory tree, writes stay in
+/// memory until the publish phase splices them in. See the module docs.
+pub struct StagingBackend {
+    base: DirBackend,
+    overlay: Overlay,
+}
+
+impl StagingBackend {
+    /// Opens a staging view over the shared store rooted at `root`.
+    ///
+    /// The base view is a plain [`DirBackend`] used read-only (durability
+    /// is irrelevant; `Durability::None` avoids pointless fsync setup).
+    /// It is never `recover()`ed — recovery would delete the live store's
+    /// in-flight tmp files.
+    pub fn over(root: &Path) -> StoreResult<Self> {
+        Ok(StagingBackend {
+            base: DirBackend::create_with(root, Durability::None)?,
+            overlay: Overlay::default(),
+        })
+    }
+
+    /// Drains the staged writes for the publish phase.
+    pub fn take_staged(&mut self) -> Overlay {
+        std::mem::take(&mut self.overlay)
+    }
+
+    fn staged(&self, kind: FileKind, name: &str) -> Option<&Vec<u8>> {
+        self.overlay.fresh[slot(kind)]
+            .get(name)
+            .or_else(|| self.overlay.updated[slot(kind)].get(name))
+    }
+}
+
+impl Backend for StagingBackend {
+    fn put(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        // Only overlay collisions are refused here. The shared base is
+        // deliberately *not* consulted: phase 1 holds no lock, so a base
+        // existence check races with other sessions' publish phases — a
+        // hook another session splices in mid-pipeline would fail this
+        // whole commit with AlreadyExists. Collisions against the shared
+        // store are resolved under the lock at splice time instead:
+        // write_hook's exists-guard keeps first-mapping-wins for hooks,
+        // chunk/manifest names are private staged ids that cannot clash,
+        // and recipe names are protected by the stream lease.
+        if self.staged(kind, name).is_some() {
+            return Err(StoreError::AlreadyExists { kind, name: name.to_string() });
+        }
+        self.overlay.fresh[slot(kind)].insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn update(&mut self, kind: FileKind, name: &str, data: &[u8]) -> StoreResult<()> {
+        if let Some(entry) = self.overlay.fresh[slot(kind)].get_mut(name) {
+            *entry = data.to_vec();
+            return Ok(());
+        }
+        if let Some(entry) = self.overlay.updated[slot(kind)].get_mut(name) {
+            *entry = data.to_vec();
+            return Ok(());
+        }
+        if self.base.exists(kind, name) {
+            // Copy-on-write: the shared object stays untouched until the
+            // publish phase decides what to do with the rewrite.
+            self.overlay.updated[slot(kind)].insert(name.to_string(), data.to_vec());
+            return Ok(());
+        }
+        Err(StoreError::NotFound { kind, name: name.to_string() })
+    }
+
+    fn get(&mut self, kind: FileKind, name: &str) -> StoreResult<Bytes> {
+        if let Some(data) = self.staged(kind, name) {
+            return Ok(Bytes::from(data.clone()));
+        }
+        self.base.get(kind, name)
+    }
+
+    fn get_range(
+        &mut self,
+        kind: FileKind,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> StoreResult<Bytes> {
+        if let Some(data) = self.staged(kind, name) {
+            let end = offset.saturating_add(len);
+            if end > data.len() as u64 {
+                return Err(StoreError::OutOfRange {
+                    name: name.to_string(),
+                    offset,
+                    len,
+                    size: data.len() as u64,
+                });
+            }
+            return Ok(Bytes::from(data[offset as usize..end as usize].to_vec()));
+        }
+        self.base.get_range(kind, name, offset, len)
+    }
+
+    fn size_of(&mut self, kind: FileKind, name: &str) -> StoreResult<u64> {
+        if let Some(data) = self.staged(kind, name) {
+            return Ok(data.len() as u64);
+        }
+        self.base.size_of(kind, name)
+    }
+
+    fn exists(&mut self, kind: FileKind, name: &str) -> bool {
+        self.staged(kind, name).is_some() || self.base.exists(kind, name)
+    }
+
+    fn count(&mut self, kind: FileKind) -> u64 {
+        // Updated names exist in base already, so they don't add. A fresh
+        // hook can transiently shadow a base hook another session
+        // published after this pipeline started (put no longer consults
+        // the racy base), overcounting by one until the splice resolves
+        // it — tolerable for a staging view that only feeds pipeline
+        // stats.
+        self.base.count(kind) + self.overlay.fresh[slot(kind)].len() as u64
+    }
+
+    fn list(&mut self, kind: FileKind) -> Vec<String> {
+        let mut names = self.base.list(kind);
+        names.extend(self.overlay.fresh[slot(kind)].keys().cloned());
+        names.sort();
+        names
+    }
+
+    fn delete(&mut self, kind: FileKind, name: &str) -> StoreResult<()> {
+        // The dedup pipeline never deletes; GC and rollback run on the
+        // shared store, not on a staging view. Allow retracting a staged
+        // write, refuse touching shared objects.
+        if self.overlay.fresh[slot(kind)].remove(name).is_some() {
+            return Ok(());
+        }
+        if self.overlay.updated[slot(kind)].remove(name).is_some() {
+            return Ok(());
+        }
+        Err(StoreError::NotFound { kind, name: name.to_string() })
+    }
+
+    fn flush(&mut self) -> StoreResult<()> {
+        // Staged writes are in-memory by design; durability happens at
+        // publish time through the shared substrate.
+        Ok(())
+    }
+
+    fn recover(&mut self) -> StoreResult<RecoveryReport> {
+        Ok(RecoveryReport::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mhd-staging-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap(); // lint: allow(unwrap): test setup
+        dir
+    }
+
+    #[test]
+    fn overlay_shadows_and_merges_with_base() {
+        let root = temp_root("overlay");
+        let mut base = DirBackend::create_with(&root, Durability::None).unwrap(); // lint: allow(unwrap): test setup
+        base.put(FileKind::DiskChunk, "base", b"old").unwrap(); // lint: allow(unwrap): test setup
+        base.put(FileKind::Manifest, "m1", b"manifest-v1").unwrap(); // lint: allow(unwrap): test setup
+        base.put(FileKind::Hook, "h1", b"hook-shared").unwrap(); // lint: allow(unwrap): test setup
+
+        let mut s = StagingBackend::over(&root).unwrap(); // lint: allow(unwrap): test setup
+                                                          // Reads fall through.
+        assert_eq!(&s.get(FileKind::DiskChunk, "base").unwrap()[..], b"old"); // lint: allow(unwrap): asserted
+                                                                              // Fresh writes stay in memory and shadow reads.
+        s.put(FileKind::DiskChunk, "new", b"fresh").unwrap(); // lint: allow(unwrap): asserted
+        assert_eq!(&s.get(FileKind::DiskChunk, "new").unwrap()[..], b"fresh"); // lint: allow(unwrap): asserted
+        assert_eq!(&s.get_range(FileKind::DiskChunk, "new", 1, 3).unwrap()[..], b"res"); // lint: allow(unwrap): asserted
+        assert!(s.get_range(FileKind::DiskChunk, "new", 3, 9).is_err());
+        // Puts never overwrite staged objects…
+        assert!(s.put(FileKind::DiskChunk, "new", b"x").is_err());
+        // …but a name that exists only in the shared base is accepted:
+        // phase 1 holds no lock, so an object another session splices in
+        // mid-pipeline (a racing hook publish) must not fail this
+        // pipeline — the splice resolves the collision under the lock
+        // (write_hook's first-mapping-wins guard).
+        s.put(FileKind::Hook, "h1", b"hook-mine").unwrap(); // lint: allow(unwrap): asserted
+        assert_eq!(&s.get(FileKind::Hook, "h1").unwrap()[..], b"hook-mine"); // lint: allow(unwrap): asserted
+                                                                             // Updates of shared objects copy on write.
+        s.update(FileKind::Manifest, "m1", b"manifest-v2").unwrap(); // lint: allow(unwrap): asserted
+        assert_eq!(&s.get(FileKind::Manifest, "m1").unwrap()[..], b"manifest-v2"); // lint: allow(unwrap): asserted
+        assert_eq!(&base.get(FileKind::Manifest, "m1").unwrap()[..], b"manifest-v1"); // lint: allow(unwrap): asserted
+                                                                                      // Listing and counting merge without double-counting.
+        assert_eq!(s.count(FileKind::DiskChunk), 2);
+        assert_eq!(s.list(FileKind::DiskChunk), vec!["base".to_string(), "new".to_string()]);
+        assert_eq!(s.count(FileKind::Manifest), 1);
+
+        let overlay = s.take_staged();
+        assert_eq!(overlay.fresh_of(FileKind::DiskChunk).len(), 1);
+        assert_eq!(overlay.updated_of(FileKind::Manifest).len(), 1);
+        // Drained: the backend is clean again.
+        assert_eq!(s.count(FileKind::DiskChunk), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! mhd-lint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]
 //!          [--skip-mck] [--mck-only] [--max-states N]
-//!          [--mutant flush-order|ring-prune|gc-protect]
+//!          [--mutant flush-order|ring-prune|gc-protect|splice-order]
 //! ```
 //!
 //! Exit codes: `0` clean (or all findings baselined), `1` new findings /
@@ -11,7 +11,7 @@
 //!
 //! `--mutant` inverts the contract: it seeds a historical bug into the
 //! named model and exits `0` only if the checker *catches* it — CI runs
-//! both mutants so the checker can never silently degrade into a rubber
+//! every mutant so the checker can never silently degrade into a rubber
 //! stamp.
 
 #![forbid(unsafe_code)]
@@ -49,7 +49,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: mhd-lint [--root DIR] [--json] [--baseline FILE] \
          [--write-baseline FILE] [--skip-mck] [--mck-only] [--max-states N] \
-         [--mutant flush-order|ring-prune|gc-protect]"
+         [--mutant flush-order|ring-prune|gc-protect|splice-order]"
     );
     ExitCode::from(2)
 }
@@ -208,8 +208,12 @@ fn run_mutant(name: &str, max_states: usize) -> ExitCode {
         "flush-order" => check(&FlushModel::mutant_flush_order(), max_states),
         "ring-prune" => check(&RingModel::mutant_ring_prune(), max_states),
         "gc-protect" => check(&GcProtectModel::mutant_gc_protect(), max_states),
+        "splice-order" => check(&GcProtectModel::mutant_splice_order(), max_states),
         _ => {
-            eprintln!("mhd-lint: unknown mutant {name:?} (flush-order, ring-prune, gc-protect)");
+            eprintln!(
+                "mhd-lint: unknown mutant {name:?} (flush-order, ring-prune, gc-protect, \
+                 splice-order)"
+            );
             return ExitCode::from(2);
         }
     };

@@ -13,13 +13,16 @@
 //!   is ever lost — the exact bug class of pruning a dead-but-nonempty
 //!   ring (which the workspace's `prune_dead_threads` once had).
 //! * [`GcProtectModel`] — the daemon's watermark-protected mark-sweep
-//!   (`mhd-daemon`'s `SessionRegistry` + `mhd_core::gc::collect_protected`):
-//!   writer sessions register the allocation watermark before their first
-//!   write; the collector's sweep cutoff is the minimum over its own
-//!   watermark and every registered one. The invariant is that no recipe
-//!   ever references a swept chunk, and quiescence additionally requires
-//!   pre-existing garbage to actually be reclaimed (so "protect
-//!   everything" cannot pass either).
+//!   (`mhd-daemon`'s `SessionRegistry` + `mhd_core::gc::collect_protected`)
+//!   racing two-phase commits: writer sessions register the allocation
+//!   watermark at `BEGIN`, run their dedup pipeline outside the lock,
+//!   then reserve an id, splice the chunk, and publish the recipe; the
+//!   collector's sweep cutoff is the minimum over its own watermark and
+//!   every registered one. The invariant is that no recipe ever
+//!   references a chunk missing from disk — whether because GC swept it
+//!   or because the publish ran before the splice — and quiescence
+//!   additionally requires pre-existing garbage to actually be reclaimed
+//!   (so "protect everything" cannot pass either).
 //!
 //! Each model has a `mutant` constructor seeding the historical bug, used
 //! as a negative test: CI runs the mutants and *requires* the checker to
@@ -312,16 +315,19 @@ impl Model for RingModel {
 // Watermark-protected garbage collection (daemon sessions vs GC)
 // ---------------------------------------------------------------------
 
-/// Model of concurrent write sessions racing one protected mark-sweep
-/// collection over a shared store with monotonic chunk ids.
+/// Model of concurrent two-phase write sessions racing one protected
+/// mark-sweep collection over a shared store with monotonic chunk ids.
 ///
-/// Each writer is one daemon session: `register(watermark = next_id)` →
-/// allocate-and-write a chunk → publish a recipe referencing it →
-/// `deregister`. The collector runs a single mark-sweep pass at an
-/// arbitrary point in the interleaving: *mark* snapshots the sweep cutoff
-/// and the set of chunks referenced by recipes; *sweep* then deletes
-/// unmarked chunks below the cutoff, one chunk per step (each step is a
-/// crash/interleaving point).
+/// Each writer is one daemon session running the shipped two-phase
+/// commit: `register(watermark = next_id)` at `BEGIN` → run the dedup
+/// *pipeline* outside the lock (a pure interleave point — it touches no
+/// shared state) → *reserve* an id range (allocation only; nothing on
+/// disk yet) → *splice* the chunk to disk → *publish* a recipe
+/// referencing it → `deregister`. The collector runs a single mark-sweep
+/// pass at an arbitrary point in the interleaving: *mark* snapshots the
+/// sweep cutoff and the set of chunks referenced by recipes; *sweep* then
+/// deletes unmarked chunks below the cutoff, one chunk per step (each
+/// step is a crash/interleaving point).
 ///
 /// The store starts with one pre-existing unreferenced chunk (id 0), so a
 /// collector that protects everything fails quiescence just as surely as
@@ -333,29 +339,46 @@ pub struct GcProtectModel {
     /// allocation watermark), deleting chunks a still-uncommitted session
     /// just wrote.
     honor_watermarks: bool,
+    /// The shipped publish order splices chunks before publishing the
+    /// recipes that reference them (`FLUSH_ORDER` discipline). The mutant
+    /// flips the two steps, exposing a window where a recipe on disk
+    /// references a chunk that is not.
+    publish_before_splice: bool,
 }
 
 impl GcProtectModel {
     /// The shipped protocol: cutoff = min(own watermark, registered
-    /// session watermarks).
+    /// session watermarks); splice before publish.
     pub fn shipped() -> GcProtectModel {
-        GcProtectModel { writers: 2, honor_watermarks: true }
+        GcProtectModel { writers: 2, honor_watermarks: true, publish_before_splice: false }
     }
 
     /// The seeded bug: the cutoff ignores the session registry, so a
-    /// session's freshly written, not-yet-referenced chunks are swept as
+    /// session's freshly spliced, not-yet-referenced chunks are swept as
     /// garbage. The checker must catch it.
     pub fn mutant_gc_protect() -> GcProtectModel {
-        GcProtectModel { writers: 2, honor_watermarks: false }
+        GcProtectModel { writers: 2, honor_watermarks: false, publish_before_splice: false }
+    }
+
+    /// The seeded ordering bug: the publish phase writes a session's
+    /// recipe before splicing its staged chunk, so every interleaving
+    /// (and every crash point) between the two steps has a recipe
+    /// referencing a chunk missing from disk. The checker must catch it.
+    pub fn mutant_splice_order() -> GcProtectModel {
+        GcProtectModel { writers: 2, honor_watermarks: true, publish_before_splice: true }
     }
 }
 
-/// Writer lifecycle position.
+/// Writer lifecycle position. `W_SPLICE_OR_PUBLISH` and
+/// `W_PUBLISH_OR_SPLICE` are the two publish-phase steps whose order
+/// [`GcProtectModel::publish_before_splice`] flips.
 const W_REGISTER: u8 = 0;
-const W_WRITE: u8 = 1;
-const W_PUBLISH: u8 = 2;
-const W_DEREGISTER: u8 = 3;
-const W_DONE: u8 = 4;
+const W_PIPELINE: u8 = 1;
+const W_RESERVE: u8 = 2;
+const W_SPLICE_OR_PUBLISH: u8 = 3;
+const W_PUBLISH_OR_SPLICE: u8 = 4;
+const W_DEREGISTER: u8 = 5;
+const W_DONE: u8 = 6;
 
 /// GC phase.
 const GC_IDLE: u8 = 0;
@@ -369,7 +392,7 @@ pub struct GcProtectState {
     w_pc: Vec<u8>,
     /// Registered watermark per writer (`None` = not registered).
     watermark: Vec<Option<u8>>,
-    /// Chunk id each writer allocated, once written.
+    /// Chunk id each writer reserved; on disk only after its splice step.
     w_chunk: Vec<Option<u8>>,
     /// Published recipes: the chunk id each references.
     recipes: Vec<Option<u8>>,
@@ -443,15 +466,37 @@ impl Model for GcProtectModel {
             }
         } else {
             let r = tid - 1;
+            let splice = |s: &mut GcProtectState| {
+                if let Some(id) = s.w_chunk[r] {
+                    s.disk[id as usize] = true;
+                }
+            };
+            let publish = |s: &mut GcProtectState| s.recipes[r] = s.w_chunk[r];
             match s.w_pc[r] {
                 W_REGISTER => s.watermark[r] = Some(s.next_id),
-                W_WRITE => {
-                    let id = s.next_id;
-                    s.w_chunk[r] = Some(id);
-                    s.disk[id as usize] = true;
+                // The dedup pipeline runs outside the lock and touches no
+                // shared state — modelled as a pure interleave point.
+                W_PIPELINE => {}
+                W_RESERVE => {
+                    // Allocation only: the id is claimed but nothing is
+                    // on disk until the splice step.
+                    s.w_chunk[r] = Some(s.next_id);
                     s.next_id += 1;
                 }
-                W_PUBLISH => s.recipes[r] = s.w_chunk[r],
+                W_SPLICE_OR_PUBLISH => {
+                    if self.publish_before_splice {
+                        publish(s);
+                    } else {
+                        splice(s);
+                    }
+                }
+                W_PUBLISH_OR_SPLICE => {
+                    if self.publish_before_splice {
+                        splice(s);
+                    } else {
+                        publish(s);
+                    }
+                }
                 W_DEREGISTER => s.watermark[r] = None,
                 _ => {}
             }
@@ -464,8 +509,9 @@ impl Model for GcProtectModel {
             if let Some(c) = recipe {
                 if !s.disk[*c as usize] {
                     return Err(format!(
-                        "session {r}'s recipe references chunk {c}, which GC swept \
-                         (cutoff {}, watermarks {:?})",
+                        "session {r}'s recipe references chunk {c}, which is not on \
+                         disk — either GC swept it (cutoff {}, watermarks {:?}) or \
+                         the recipe was published before its chunk was spliced",
                         s.cutoff, s.watermark
                     ));
                 }
@@ -590,6 +636,22 @@ mod tests {
         assert!(v.message.contains("swept"), "{}", v.message);
         // The repro schedule replays deterministically.
         let model = GcProtectModel::mutant_gc_protect();
+        let mut s = model.init();
+        for &tid in &v.schedule {
+            model.step(&mut s, tid);
+        }
+        assert_eq!(format!("{s:?}"), v.state);
+    }
+
+    #[test]
+    fn publish_before_splice_is_caught() {
+        let result = check(&GcProtectModel::mutant_splice_order(), BUDGET);
+        let v = result
+            .violation
+            .expect("publishing a recipe before splicing its chunk must violate the invariant");
+        assert!(v.message.contains("spliced"), "{}", v.message);
+        // The repro schedule replays deterministically.
+        let model = GcProtectModel::mutant_splice_order();
         let mut s = model.init();
         for &tid in &v.schedule {
             model.step(&mut s, tid);

@@ -24,7 +24,7 @@ pub const DEFAULT_SCOPE_KEYS: &[&str] =
 
 /// Fallback stage-name prefixes, mirroring `mhd_obs::STAGE_NAME_PREFIXES`.
 pub const DEFAULT_STAGE_PREFIXES: &[&str] =
-    &["backup", "daemon", "engine", "io", "pipeline", "shard"];
+    &["backup", "commit", "daemon", "engine", "io", "pipeline", "shard"];
 
 /// A loaded workspace: every lintable source file plus crate manifests.
 #[derive(Debug)]

@@ -32,7 +32,8 @@ use serde::{Content, Deserialize, Serialize};
 /// `mhd-lint`'s L4 pass parses this constant from source and
 /// cross-checks every `mhd_obs::stage(..)` call site, keeping the
 /// analyzer's stage taxonomy closed under review.
-pub const STAGE_NAME_PREFIXES: &[&str] = &["backup", "daemon", "engine", "io", "pipeline", "shard"];
+pub const STAGE_NAME_PREFIXES: &[&str] =
+    &["backup", "commit", "daemon", "engine", "io", "pipeline", "shard"];
 
 /// Direction of a match extension ([`TraceEvent::BmeExtend`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -625,6 +625,13 @@ impl FaultPoint {
         FaultPoint { op: FaultOp::Read, kind, fail_at }
     }
 
+    /// A fault point that never fires: the matching-operation counter
+    /// cannot reach `u64::MAX`. Lets a fault layer sit permanently in a
+    /// backend stack (e.g. a daemon's) and be armed only by tests.
+    pub fn never() -> Self {
+        FaultPoint::any(u64::MAX)
+    }
+
     fn matches(&self, op: FaultOp, kind: FileKind) -> bool {
         (self.op == FaultOp::Any || self.op == op)
             && (self.kind.is_none() || self.kind == Some(kind))
@@ -672,6 +679,20 @@ impl<B: Backend> FaultBackend<B> {
     /// Read access to the inner backend.
     pub fn inner(&self) -> &B {
         &self.inner
+    }
+
+    /// Mutable access to the inner backend.
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    /// Re-arms the wrapper with a new fault point and resets the
+    /// matching-operation counter, so a long-lived stack can schedule a
+    /// fault well after construction (and disarm it again with
+    /// [`FaultPoint::never`]).
+    pub fn arm(&mut self, point: FaultPoint) {
+        self.matching = 0;
+        self.point = point;
     }
 
     fn tick(&mut self, op: FaultOp, kind: FileKind) -> StoreResult<()> {

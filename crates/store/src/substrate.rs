@@ -122,6 +122,48 @@ impl<B: Backend> Substrate<B> {
         Ok(true)
     }
 
+    /// Reserves `n` consecutive DiskChunk ids and returns the first.
+    ///
+    /// Two-phase commits build objects in a staging substrate under a
+    /// private id range, then reserve a real range here (under the store
+    /// lock) and splice the staged objects in with
+    /// [`Substrate::splice_disk_chunk`]. Unused ids in the range are
+    /// simply gaps — ids are never recycled anyway.
+    pub fn reserve_chunk_ids(&mut self, n: u64) -> u64 {
+        let base = self.next_chunk_id;
+        self.next_chunk_id += n;
+        base
+    }
+
+    /// Reserves `n` consecutive Manifest ids and returns the first (the
+    /// manifest analogue of [`Substrate::reserve_chunk_ids`]).
+    pub fn reserve_manifest_ids(&mut self, n: u64) -> u64 {
+        let base = self.next_manifest_id;
+        self.next_manifest_id += n;
+        base
+    }
+
+    /// Writes an already-sealed DiskChunk payload under a previously
+    /// reserved id (the publish half of a two-phase commit: the bytes and
+    /// their content hash were produced by a staging substrate). Accounts
+    /// exactly like [`Substrate::write_disk_chunk`].
+    pub fn splice_disk_chunk(
+        &mut self,
+        id: DiskChunkId,
+        data: &[u8],
+        content_hash: ChunkHash,
+    ) -> StoreResult<()> {
+        debug_assert!(id.0 < self.next_chunk_id, "splice into an unreserved chunk id");
+        self.backend.put(FileKind::DiskChunk, &id.name(), data)?;
+        mhd_obs::counter!("store.disk_chunk_writes").inc();
+        mhd_obs::histogram!("store.disk_chunk_write_bytes").record(data.len() as u64);
+        self.stats.chunk_output += 1;
+        self.ledger.inodes_disk_chunks += 1;
+        self.ledger.stored_data_bytes += data.len() as u64;
+        self.chunk_hashes.insert(id, content_hash);
+        Ok(())
+    }
+
     /// Reads `len` bytes at `offset` from a sealed DiskChunk (an HHR
     /// byte-comparison reload, or a restore read).
     pub fn read_chunk_range(
@@ -250,7 +292,13 @@ impl<B: Backend> Substrate<B> {
                     manifest.id
                 ))
             })?;
-        self.ledger.manifest_bytes = self.ledger.manifest_bytes - old + encoded.len() as u64;
+        // Saturating: a staging substrate's ledger starts at zero but may
+        // rewrite a manifest it only ever loaded from its base view, so
+        // the delta can exceed the running total. (Its ledger is a
+        // discarded scratch value; durable substrates wrote every
+        // manifest they update and never saturate here.)
+        self.ledger.manifest_bytes =
+            (self.ledger.manifest_bytes + encoded.len() as u64).saturating_sub(old);
         Ok(())
     }
 
@@ -259,7 +307,17 @@ impl<B: Backend> Substrate<B> {
         let data = self.backend.get(FileKind::Manifest, &id.name())?;
         mhd_obs::counter!("store.manifest_reads").inc();
         self.stats.manifest_input += 1;
+        // A substrate may legitimately update a manifest it only ever
+        // loaded (a staging substrate rewriting a shared-store manifest
+        // copy-on-write): record the current encoded size so the update's
+        // ledger delta has a base.
+        self.manifest_sizes.entry(id).or_insert(data.len() as u64);
         Manifest::decode(id, &data)
+    }
+
+    /// Whether a Manifest object exists on the backend (no I/O charged).
+    pub fn manifest_exists(&mut self, id: ManifestId) -> bool {
+        self.backend.exists(FileKind::Manifest, &id.name())
     }
 
     // ----- FileManifests -------------------------------------------------
@@ -424,7 +482,7 @@ impl<B: Backend> Substrate<B> {
 
 /// Serialisable snapshot of a [`Substrate`]'s bookkeeping (see
 /// [`Substrate::export_state`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SubstrateState {
     /// Disk-access counters.
     pub stats: IoStats,
