@@ -17,13 +17,16 @@
 #      fsck, clean shutdown; then a daemon_bench smoke sweep gating the
 #      two-phase commit (dedup equivalence across session counts, 4-session
 #      throughput >= 0.9x the 2-session figure, exhibit JSON produced)
-#   6. lint      — mhd-lint invariant passes (ratcheted against
+#   6. chunker   — chunker_bench smoke: per-chunker byte-exact restore
+#      probe, SWAR/scalar/calibrated FastCDC cut-point identity, and the
+#      FastCDC >= Rabin throughput gate
+#   7. lint      — mhd-lint invariant passes (ratcheted against
 #      lint-baseline.json) + exhaustive model checking of the flush,
 #      trace-ring, and GC-protection/splice-order protocols, plus all
 #      seeded-bug mutants as negative tests of the checker itself
-#   7. rustfmt   — style, enforced via rustfmt.toml
-#   8. clippy    — all targets, warnings are errors
-#   9. rustdoc   — every public item documented, no broken links
+#   8. rustfmt   — style, enforced via rustfmt.toml
+#   9. clippy    — all targets, warnings are errors
+#  10. rustdoc   — every public item documented, no broken links
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -49,7 +52,7 @@ trap 'rm -rf "$SMOKE"' EXIT
 mkdir -p "$SMOKE/src"
 head -c 262144 /dev/urandom > "$SMOKE/src/disk.img"
 ./target/release/mhd backup "$SMOKE/src" --store "$SMOKE/store" \
-    --durability fsync --io-threads 2 --label smoke
+    --durability fsync --io-threads 2 --chunker fastcdc --label smoke
 ./target/release/mhd fsck --store "$SMOKE/store"
 ./target/release/mhd restore smoke-0/disk.img --store "$SMOKE/store" -o "$SMOKE/restored.img"
 cmp "$SMOKE/src/disk.img" "$SMOKE/restored.img"
@@ -130,6 +133,20 @@ DAEMON_BENCH_REQUIRE_SCALING=1 ./target/release/daemon_bench \
     --bytes 48M --out "$SMOKE/daemon-bench" > /dev/null
 [[ -f "$SMOKE/daemon-bench/daemon_bench.json" ]] || {
     echo "error: daemon_bench.json was not written" >&2
+    exit 1
+}
+
+step "chunker: FastCDC/AE shootout smoke (chunker_bench)"
+# The bench's unconditional gates carry the correctness load: every
+# chunker's dedup run ends with a byte-exact restore probe, and the SWAR,
+# scalar, and calibrated FastCDC kernels must produce identical cut
+# points on the corpus. REQUIRE_FASTCDC adds the throughput gate — both
+# the calibrated and the forced-SWAR FastCDC rows must hold at least
+# Rabin's MiB/s (a release-codegen property, hence the release binary).
+CHUNKER_BENCH_REQUIRE_FASTCDC=1 ./target/release/chunker_bench \
+    --bytes 24M --out "$SMOKE/chunker-bench" > /dev/null
+[[ -f "$SMOKE/chunker-bench/chunker_bench.json" ]] || {
+    echo "error: chunker_bench.json was not written" >&2
     exit 1
 }
 

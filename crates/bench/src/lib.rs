@@ -270,6 +270,7 @@ pub fn scaled_config(ecs: usize, sd: usize, corpus_bytes: u64) -> EngineConfig {
         // Small relative to the number of manifests (the paper's 1 TB run
         // cannot keep a day's manifests resident; neither may we).
         cache_manifests: 8,
+        chunker: mhd_chunking::ChunkerKind::Rabin,
         mhd: MhdOptions::default(),
     }
 }

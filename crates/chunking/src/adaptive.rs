@@ -58,8 +58,15 @@ pub fn estimate_entropy(data: &[u8]) -> f64 {
         counts[b as usize] += 1;
         total += 1;
     }
-    if data.len() > 2 * SAMPLE {
-        for &b in &data[data.len() - SAMPLE..] {
+    // Sample the tail whenever any byte escaped the prefix sample. The
+    // ranges never overlap: the tail starts at `len - SAMPLE`, clamped
+    // forward to where the prefix sample ended. (Sampling the tail only
+    // for `len > 2 * SAMPLE` left a blind spot at `SAMPLE < len <=
+    // 2 * SAMPLE`, where e.g. a compressed payload behind a structured
+    // 32 KiB header was misclassified as CDC-worthy.)
+    if data.len() > SAMPLE {
+        let tail_start = (data.len() - SAMPLE).max(SAMPLE);
+        for &b in &data[tail_start..] {
             counts[b as usize] += 1;
             total += 1;
         }
@@ -103,15 +110,23 @@ impl AdaptiveChunker {
 }
 
 impl Chunker for AdaptiveChunker {
-    fn cut_points(&self, data: &[u8]) -> Vec<usize> {
+    fn next_cut(&self, data: &[u8], start: usize) -> usize {
+        // Selection is re-sampled on every call over the slice the caller
+        // is currently chunking, so in-memory chaining and the streaming
+        // path make identical decisions (the entropy sample covers the
+        // slice's head and tail, see [`estimate_entropy`]).
         match self.select(data) {
-            Selected::Cdc => self.cdc.cut_points(data),
-            Selected::Fsp => self.fsp.cut_points(data),
+            Selected::Cdc => self.cdc.next_cut(data, start),
+            Selected::Fsp => self.fsp.next_cut(data, start),
         }
     }
 
     fn expected_chunk_size(&self) -> usize {
         self.cdc.expected_chunk_size()
+    }
+
+    fn max_chunk_size(&self) -> usize {
+        self.cdc.max_chunk_size().max(self.fsp.max_chunk_size())
     }
 }
 
@@ -139,6 +154,26 @@ mod tests {
         assert_eq!(estimate_entropy(&[7u8; 10_000]), 0.0);
         assert!(estimate_entropy(&texty(10_000)) < 5.0);
         assert!(estimate_entropy(&random(100_000, 1)) > 7.9);
+    }
+
+    #[test]
+    fn tail_is_sampled_between_one_and_two_sample_sizes() {
+        // A structured 32 KiB header followed by 16 KiB of high-entropy
+        // payload: total length sits in (SAMPLE, 2*SAMPLE], the range the
+        // old code sampled only the prefix of. The mixed sample must score
+        // well above the header-only entropy.
+        let mut data = texty(32 << 10);
+        data.extend_from_slice(&random(16 << 10, 7));
+        let header_only = estimate_entropy(&texty(32 << 10));
+        let mixed = estimate_entropy(&data);
+        assert!(
+            mixed > header_only + 1.0,
+            "tail not sampled: mixed {mixed:.2} vs header {header_only:.2}"
+        );
+
+        // Non-overlap: a head/tail split that shares no bytes counts each
+        // region exactly once, so a uniform input still scores 0.
+        assert_eq!(estimate_entropy(&vec![9u8; (32 << 10) + 1]), 0.0);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Asymmetric Extremum (AE) chunking (Zhang et al., INFOCOM'15).
+//!
+//! AE needs no rolling hash at all: a position is a cut point when the
+//! byte `w` positions earlier is a strict local maximum of everything seen
+//! since — i.e. an extreme value followed by a full window of
+//! not-greater bytes. Detection is one compare per byte with no multiply
+//! and no table lookup, which made AE the throughput benchmark CDC paper
+//! baselines are measured against ("A Thorough Investigation of
+//! Content-Defined Chunking Algorithms", PAPERS.md).
+//!
+//! The textbook algorithm has no `min`/`max` bounds (its expected chunk
+//! size is `(e/(e-1)) · w ≈ 1.58 w`). To satisfy the workspace-wide
+//! [`Chunker`] contract — bounded chunks so [`crate::StreamChunker`] has a
+//! finality horizon and engines can size buffers — this implementation
+//! skips the first `min − w` bytes (so no cut lands before `min`) and
+//! forces a cut at `max`, mirroring the clamps every other chunker here
+//! applies. The window is `w = max(avg/2, 1)`, putting the expected chunk
+//! size near `ECS` once the min-skip is added.
+
+use crate::params::ChunkerParams;
+use crate::Chunker;
+
+/// Asymmetric Extremum content-defined chunker.
+///
+/// ```
+/// use mhd_chunking::{AeChunker, Chunker};
+///
+/// let chunker = AeChunker::with_avg(1024).unwrap();
+/// let data = vec![42u8; 10_000];
+/// let spans = chunker.spans(&data);
+/// assert_eq!(spans.iter().map(|s| s.len).sum::<usize>(), data.len());
+/// ```
+#[derive(Clone)]
+pub struct AeChunker {
+    params: ChunkerParams,
+    /// Extremum window length.
+    window: usize,
+}
+
+impl AeChunker {
+    /// Creates a chunker from validated parameters.
+    pub fn new(params: ChunkerParams) -> Result<Self, crate::ParamError> {
+        params.validate()?;
+        Ok(AeChunker { params, window: (params.avg / 2).max(1) })
+    }
+
+    /// Convenience constructor from an expected chunk size.
+    pub fn with_avg(avg: usize) -> Result<Self, crate::ParamError> {
+        Self::new(ChunkerParams::with_avg(avg)?)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> ChunkerParams {
+        self.params
+    }
+}
+
+impl Chunker for AeChunker {
+    fn next_cut(&self, data: &[u8], start: usize) -> usize {
+        let p = &self.params;
+        let remaining = data.len() - start;
+        if remaining <= p.min {
+            return data.len();
+        }
+        let limit = start + remaining.min(p.max);
+
+        // Skip ahead so the earliest possible cut (extremum at the scan
+        // origin, then a full window) lands past `min`.
+        let scan_from = start + p.min.saturating_sub(self.window);
+        if scan_from >= limit {
+            return limit;
+        }
+        let mut ext_val = data[scan_from];
+        let mut ext_pos = scan_from;
+        for (i, &b) in data[scan_from + 1..limit].iter().enumerate() {
+            let pos = scan_from + 1 + i;
+            if b > ext_val {
+                ext_val = b;
+                ext_pos = pos;
+            } else if pos - ext_pos == self.window {
+                return pos + 1;
+            }
+        }
+        limit
+    }
+
+    fn expected_chunk_size(&self) -> usize {
+        self.params.avg
+    }
+
+    fn max_chunk_size(&self) -> usize {
+        self.params.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn average_size_is_plausible() {
+        let avg = 1024usize;
+        let chunker = AeChunker::with_avg(avg).unwrap();
+        let data = random_data(2_000_000, 31);
+        let n = chunker.cut_points(&data).len();
+        let measured = data.len() / n;
+        assert!(
+            measured > avg / 2 && measured < avg * 2,
+            "measured avg {measured} vs expected {avg}"
+        );
+    }
+
+    #[test]
+    fn constant_runs_cut_at_window_not_every_byte() {
+        // On a constant run nothing exceeds the first byte, so the first
+        // byte of each scan is the extremum and every chunk has the same
+        // deterministic length: min-skip + window + 1.
+        let chunker = AeChunker::with_avg(1024).unwrap();
+        let p = chunker.params();
+        let data = vec![0xAAu8; 100_000];
+        let spans = chunker.spans(&data);
+        let expect = p.min.saturating_sub(chunker.window) + chunker.window + 1;
+        for s in &spans[..spans.len() - 1] {
+            assert_eq!(s.len, expect);
+            assert!(s.len > p.min && s.len <= p.max);
+        }
+    }
+
+    #[test]
+    fn strictly_increasing_data_forces_max_cuts() {
+        // A strictly rising ramp renews the extremum at every byte, so no
+        // window ever completes and every cut is the forced one at `max`.
+        let chunker = AeChunker::with_avg(16).unwrap();
+        let p = chunker.params();
+        let data: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        assert!(data.len() % p.max == 0, "ramp must tile into max-size chunks");
+        let spans = chunker.spans(&data);
+        assert_eq!(spans.len(), data.len() / p.max);
+        for s in &spans {
+            assert_eq!(s.len, p.max);
+        }
+    }
+
+    #[test]
+    fn identical_suffix_realigns_after_prefix_insert() {
+        let chunker = AeChunker::with_avg(512).unwrap();
+        let data = random_data(100_000, 32);
+        let mut shifted = random_data(100, 33);
+        shifted.extend_from_slice(&data);
+
+        let cuts_a: Vec<usize> = chunker.cut_points(&data);
+        let cuts_b: Vec<usize> = chunker.cut_points(&shifted).iter().map(|c| c - 100).collect();
+
+        let set_a: std::collections::HashSet<_> = cuts_a.iter().copied().collect();
+        let tail_b: Vec<_> = cuts_b.iter().filter(|&&c| c >= 10_000).collect();
+        let realigned = tail_b.iter().filter(|&&&c| set_a.contains(&c)).count();
+        assert!(
+            realigned * 10 >= tail_b.len() * 9,
+            "only {realigned}/{} boundaries realigned",
+            tail_b.len()
+        );
+    }
+}

@@ -48,13 +48,10 @@ impl RabinChunker {
     pub fn params(&self) -> ChunkerParams {
         self.params
     }
+}
 
-    /// Finds the end of the next chunk starting at `start` within `data`.
-    ///
-    /// Returns an offset in `(start, data.len()]`. Exposed so engines can
-    /// re-chunk sub-ranges (Bimodal/SubChunk re-chunking, HHR byte-range
-    /// splitting) without materialising a boundary vector.
-    pub fn next_cut(&self, data: &[u8], start: usize) -> usize {
+impl Chunker for RabinChunker {
+    fn next_cut(&self, data: &[u8], start: usize) -> usize {
         let p = &self.params;
         let remaining = data.len() - start;
         if remaining <= p.min {
@@ -83,56 +80,25 @@ impl RabinChunker {
         }
         start + limit
     }
-}
-
-impl Chunker for RabinChunker {
-    fn cut_points(&self, data: &[u8]) -> Vec<usize> {
-        let mut cuts = Vec::with_capacity(data.len() / self.params.avg + 1);
-        let mut start = 0usize;
-        while start < data.len() {
-            let end = self.next_cut(data, start);
-            debug_assert!(end > start);
-            cuts.push(end);
-            start = end;
-        }
-        cuts
-    }
 
     fn expected_chunk_size(&self) -> usize {
         self.params.avg
+    }
+
+    fn max_chunk_size(&self) -> usize {
+        self.params.max
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use rand::prelude::*;
     use rand::rngs::StdRng;
 
     fn random_data(len: usize, seed: u64) -> Vec<u8> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..len).map(|_| rng.random()).collect()
-    }
-
-    #[test]
-    fn chunks_tile_and_respect_bounds() {
-        let chunker = RabinChunker::with_avg(1024).unwrap();
-        let data = random_data(200_000, 1);
-        let spans = chunker.spans(&data);
-        assert!(!spans.is_empty());
-        let p = chunker.params();
-        let mut covered = 0usize;
-        for (i, s) in spans.iter().enumerate() {
-            assert_eq!(s.offset, covered);
-            covered += s.len;
-            let is_last = i == spans.len() - 1;
-            assert!(s.len <= p.max, "chunk {i} too big: {}", s.len);
-            if !is_last {
-                assert!(s.len >= p.min, "chunk {i} too small: {}", s.len);
-            }
-        }
-        assert_eq!(covered, data.len());
     }
 
     #[test]
@@ -147,13 +113,6 @@ mod tests {
             measured > avg / 2 && measured < avg * 2,
             "measured avg {measured} vs expected {avg}"
         );
-    }
-
-    #[test]
-    fn deterministic() {
-        let chunker = RabinChunker::with_avg(512).unwrap();
-        let data = random_data(50_000, 3);
-        assert_eq!(chunker.cut_points(&data), chunker.cut_points(&data));
     }
 
     #[test]
@@ -204,31 +163,7 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn prop_tiles_any_input(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
-            let chunker = RabinChunker::with_avg(256).unwrap();
-            let spans = chunker.spans(&data);
-            let mut reassembled = Vec::new();
-            for s in &spans {
-                reassembled.extend_from_slice(&data[s.offset..s.end()]);
-            }
-            prop_assert_eq!(reassembled, data);
-        }
-
-        #[test]
-        fn prop_bounds_hold(data in proptest::collection::vec(any::<u8>(), 1..16384)) {
-            let chunker = RabinChunker::with_avg(256).unwrap();
-            let p = chunker.params();
-            let spans = chunker.spans(&data);
-            for (i, s) in spans.iter().enumerate() {
-                prop_assert!(s.len <= p.max);
-                if i + 1 != spans.len() {
-                    prop_assert!(s.len >= p.min);
-                }
-            }
-        }
-    }
+    // Tiling, bound, determinism, and streaming properties are covered for
+    // every chunker (this one included) by the parameterized matrix suite
+    // in `crate::matrix`.
 }

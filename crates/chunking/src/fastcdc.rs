@@ -1,0 +1,229 @@
+//! FastCDC-style gear-hash chunker with normalized chunking.
+//!
+//! FastCDC (Xia et al., ATC'16) replaces the Rabin fingerprint with the
+//! much cheaper *gear* hash — one shift and one table XOR per byte — and
+//! reshapes the chunk-size distribution with *normalized chunking*: before
+//! the expected-size point the cut test uses a stricter mask (fewer cuts,
+//! pushing sizes up toward `avg`), after it a looser mask (more cuts,
+//! pulling sizes back down before the hard `max` bound). The result is a
+//! tighter size distribution around `ECS` with far fewer forced cuts than
+//! the plain geometric chunker, at a fraction of the per-byte cost.
+//!
+//! This implementation uses the XOR-gear recurrence `h' = (h << 1) ^
+//! GEAR[b]` (GF(2)-linear, window limited to the trailing 64 bytes by the
+//! shift) and scans with whichever kernel [`crate::simd::best_scan`]
+//! selects — the SWAR wide-lane scanner when the build's codegen
+//! vectorizes it, the byte-at-a-time loop otherwise. The two are
+//! byte-identical, so the selection never changes chunk boundaries;
+//! [`FastCdcChunker::next_cut_scalar`] and
+//! [`FastCdcChunker::cut_points_swar`] keep both kernels individually
+//! reachable so benchmarks and the matrix property suite can pin the
+//! identity.
+
+use crate::params::ChunkerParams;
+use crate::simd::{self, gear_table};
+use crate::Chunker;
+
+/// How many mask bits normalization adds (before `avg`) or removes (after).
+const NORM_BITS: u32 = 2;
+
+/// Gear warmup length: the hash state only retains the trailing 64 bytes,
+/// so warming over `min(64, min)` bytes preceding the first testable
+/// position makes every cut decision purely content-defined while staying
+/// inside the current chunk (streamed inputs never see earlier bytes).
+const WARMUP: usize = 64;
+
+/// Top-`bits` mask (gear hashes concentrate their best mixing in the high
+/// bits because every older byte has been shifted upward).
+fn top_mask(bits: u32) -> u64 {
+    !0u64 << (64 - bits.clamp(1, 63))
+}
+
+/// Content-defined chunker using the gear hash with FastCDC-style
+/// normalized chunking and a SWAR vectorized scanner.
+///
+/// ```
+/// use mhd_chunking::{Chunker, FastCdcChunker};
+///
+/// let chunker = FastCdcChunker::with_avg(1024).unwrap();
+/// let data = vec![42u8; 10_000];
+/// let spans = chunker.spans(&data);
+/// assert_eq!(spans.iter().map(|s| s.len).sum::<usize>(), data.len());
+/// ```
+#[derive(Clone)]
+pub struct FastCdcChunker {
+    params: ChunkerParams,
+    /// Stricter mask used for cut positions up to `start + avg`.
+    mask_strict: u64,
+    /// Looser mask used past the normalization point.
+    mask_loose: u64,
+}
+
+impl FastCdcChunker {
+    /// Creates a chunker from validated parameters.
+    pub fn new(params: ChunkerParams) -> Result<Self, crate::ParamError> {
+        params.validate()?;
+        let bits = (params.avg as u64).trailing_zeros();
+        Ok(FastCdcChunker {
+            params,
+            mask_strict: top_mask(bits + NORM_BITS),
+            mask_loose: top_mask(bits.saturating_sub(NORM_BITS)),
+        })
+    }
+
+    /// Convenience constructor from an expected chunk size.
+    pub fn with_avg(avg: usize) -> Result<Self, crate::ParamError> {
+        Self::new(ChunkerParams::with_avg(avg)?)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> ChunkerParams {
+        self.params
+    }
+
+    /// The two-phase normalized scan, parameterized over the scan kernel so
+    /// the SWAR and scalar paths share every masking decision.
+    fn next_cut_with(&self, data: &[u8], start: usize, scan: simd::ScanFn) -> usize {
+        let p = &self.params;
+        let remaining = data.len() - start;
+        if remaining <= p.min {
+            return data.len();
+        }
+        let limit = start + remaining.min(p.max);
+        let gear = gear_table();
+
+        // Warm the hash over the bytes preceding the first testable cut.
+        let first_test = start + p.min;
+        let mut h = 0u64;
+        for &b in &data[first_test - WARMUP.min(p.min)..first_test] {
+            h = simd::gear_roll(gear, h, b);
+        }
+        if h & self.mask_strict == 0 {
+            return first_test;
+        }
+
+        // Phase 1: strict mask up to the normalization point at `avg`.
+        let normal = limit.min(start + p.avg);
+        let (h, cut) = scan(gear, data, h, first_test, normal, self.mask_strict);
+        if let Some(cut) = cut {
+            return cut;
+        }
+        // Phase 2: loose mask from there to the hard bound.
+        let (_, cut) = scan(gear, data, h, normal, limit, self.mask_loose);
+        cut.unwrap_or(limit)
+    }
+
+    /// Byte-at-a-time reference path; byte-identical to the SWAR kernel.
+    pub fn next_cut_scalar(&self, data: &[u8], start: usize) -> usize {
+        self.next_cut_with(data, start, simd::scan_scalar)
+    }
+
+    /// All cut points via a specific scan kernel.
+    fn cut_points_with(&self, data: &[u8], scan: simd::ScanFn) -> Vec<usize> {
+        let mut cuts = Vec::with_capacity(data.len() / self.params.avg + 1);
+        let mut start = 0usize;
+        while start < data.len() {
+            let end = self.next_cut_with(data, start, scan);
+            debug_assert!(end > start);
+            cuts.push(end);
+            start = end;
+        }
+        cuts
+    }
+
+    /// All cut points via the scalar reference path (for benchmarks and
+    /// identity tests).
+    pub fn cut_points_scalar(&self, data: &[u8]) -> Vec<usize> {
+        self.cut_points_with(data, simd::scan_scalar)
+    }
+
+    /// All cut points via the SWAR kernel regardless of what calibration
+    /// selected (for benchmarks and identity tests).
+    pub fn cut_points_swar(&self, data: &[u8]) -> Vec<usize> {
+        self.cut_points_with(data, simd::scan_swar)
+    }
+}
+
+impl Chunker for FastCdcChunker {
+    fn next_cut(&self, data: &[u8], start: usize) -> usize {
+        self.next_cut_with(data, start, simd::best_scan())
+    }
+
+    fn expected_chunk_size(&self) -> usize {
+        self.params.avg
+    }
+
+    fn max_chunk_size(&self) -> usize {
+        self.params.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn average_size_is_plausible() {
+        let avg = 1024usize;
+        let chunker = FastCdcChunker::with_avg(avg).unwrap();
+        let data = random_data(2_000_000, 2);
+        let n = chunker.cut_points(&data).len();
+        let measured = data.len() / n;
+        assert!(
+            measured > avg / 2 && measured < avg * 2,
+            "measured avg {measured} vs expected {avg}"
+        );
+    }
+
+    #[test]
+    fn normalization_tightens_the_distribution() {
+        // Relative to the plain geometric chunker, normalized chunking
+        // should produce fewer hard `max` cuts and fewer near-`min` chunks
+        // on random data.
+        let chunker = FastCdcChunker::with_avg(1024).unwrap();
+        let rabin = crate::RabinChunker::with_avg(1024).unwrap();
+        let data = random_data(4_000_000, 9);
+        let p = chunker.params();
+        let hard = |spans: &[crate::Span]| spans.iter().filter(|s| s.len == p.max).count();
+        assert!(hard(&chunker.spans(&data)) <= hard(&rabin.spans(&data)));
+    }
+
+    #[test]
+    fn identical_suffix_realigns_after_prefix_insert() {
+        let chunker = FastCdcChunker::with_avg(512).unwrap();
+        let data = random_data(100_000, 4);
+        let mut shifted = random_data(100, 5);
+        shifted.extend_from_slice(&data);
+
+        let cuts_a: Vec<usize> = chunker.cut_points(&data);
+        let cuts_b: Vec<usize> = chunker.cut_points(&shifted).iter().map(|c| c - 100).collect();
+
+        let set_a: std::collections::HashSet<_> = cuts_a.iter().copied().collect();
+        let tail_b: Vec<_> = cuts_b.iter().filter(|&&c| c >= 10_000).collect();
+        let realigned = tail_b.iter().filter(|&&&c| set_a.contains(&c)).count();
+        assert!(
+            realigned * 10 >= tail_b.len() * 9,
+            "only {realigned}/{} boundaries realigned",
+            tail_b.len()
+        );
+    }
+
+    #[test]
+    fn tiny_params_are_accepted() {
+        for avg in [2usize, 4, 8] {
+            let chunker = FastCdcChunker::with_avg(avg).unwrap();
+            let data = random_data(4_096, avg as u64);
+            let spans = chunker.spans(&data);
+            assert_eq!(spans.iter().map(|s| s.len).sum::<usize>(), data.len());
+        }
+    }
+}

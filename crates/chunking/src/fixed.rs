@@ -31,6 +31,12 @@ impl FixedChunker {
 }
 
 impl Chunker for FixedChunker {
+    fn next_cut(&self, data: &[u8], start: usize) -> usize {
+        // Boundaries stay aligned to absolute multiples of `size` so that
+        // chaining from 0 reproduces `cut_points` exactly.
+        ((start / self.size + 1) * self.size).min(data.len())
+    }
+
     fn cut_points(&self, data: &[u8]) -> Vec<usize> {
         let mut cuts: Vec<usize> = (self.size..=data.len()).step_by(self.size).collect();
         if data.len() % self.size != 0 {
@@ -40,6 +46,10 @@ impl Chunker for FixedChunker {
     }
 
     fn expected_chunk_size(&self) -> usize {
+        self.size
+    }
+
+    fn max_chunk_size(&self) -> usize {
         self.size
     }
 }

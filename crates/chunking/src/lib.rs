@@ -15,11 +15,20 @@
 //!   (the paper's base chunker, §II),
 //! * [`TttdChunker`] — the Two-Threshold Two-Divisor variant \[3\] that
 //!   falls back to a secondary divisor instead of a hard cut at the upper
-//!   bound, and
+//!   bound,
 //! * [`FixedChunker`] — fixed-size partitioning (FSP), the Venti/OceanStore
-//!   strawman that suffers from boundary shifting, and
+//!   strawman that suffers from boundary shifting,
 //! * [`AdaptiveChunker`] — the Lee & Park \[21\] per-input CDC/FSP
-//!   selection for constrained devices.
+//!   selection for constrained devices,
+//! * [`FastCdcChunker`] — the gear-hash chunker with FastCDC-style
+//!   normalized chunking, backed by a SWAR wide-lane cut-point scanner on
+//!   stable rust (see [`simd`]), and
+//! * [`AeChunker`] — the Asymmetric Extremum chunker, which finds cut
+//!   points by local-maximum tracking with no rolling hash at all.
+//!
+//! Chunker choice is a first-class parameter: [`ChunkerKind`] names each
+//! algorithm (`rabin|tttd|fixed|fastcdc|ae`), and [`AnyChunker`] is the
+//! concrete dispatch enum engines embed.
 //!
 //! All chunkers implement the [`Chunker`] trait and produce boundaries that
 //! exactly tile the input; `concat(chunks) == input` always holds.
@@ -28,19 +37,29 @@
 #![warn(missing_docs)]
 
 pub mod poly;
+pub mod simd;
 
 mod adaptive;
+mod ae;
 mod cdc;
+mod fastcdc;
 mod fixed;
+mod kind;
 mod params;
 mod rabin;
 mod stats;
 mod stream;
 mod tttd;
 
+#[cfg(test)]
+mod matrix;
+
 pub use adaptive::{estimate_entropy, AdaptiveChunker, DeviceProfile, Selected};
+pub use ae::AeChunker;
 pub use cdc::RabinChunker;
+pub use fastcdc::FastCdcChunker;
 pub use fixed::FixedChunker;
+pub use kind::{AnyChunker, ChunkerKind};
 pub use params::{ChunkerParams, ParamError, DEFAULT_WINDOW};
 pub use rabin::{RabinFingerprint, RabinTables, DEFAULT_POLY};
 pub use stats::SizeStats;
@@ -68,13 +87,42 @@ impl Span {
 /// Implementations return the *exclusive end offsets* of every chunk, in
 /// increasing order, with the final entry equal to `data.len()`. An empty
 /// input produces no cuts.
+///
+/// The trait is object-safe: engines hold `&dyn Chunker` (or the concrete
+/// [`AnyChunker`] enum) so the algorithm is a runtime parameter.
 pub trait Chunker {
-    /// Returns the sorted, exclusive end offsets of all chunks of `data`.
-    fn cut_points(&self, data: &[u8]) -> Vec<usize>;
+    /// Finds the end of the next chunk starting at `start` within `data`.
+    ///
+    /// Returns an offset in `(start, data.len()]`, never more than
+    /// [`Chunker::max_chunk_size`] past `start`. This is the primitive the
+    /// default [`Chunker::cut_points`] loop and [`StreamChunker`] build on;
+    /// it is exposed so engines can re-chunk sub-ranges (Bimodal/SubChunk
+    /// re-chunking, HHR byte-range splitting) without materialising a
+    /// boundary vector.
+    fn next_cut(&self, data: &[u8], start: usize) -> usize;
 
     /// Expected (average) chunk size in bytes, used by engines for
     /// parameter scaling (`ECS` in the paper).
     fn expected_chunk_size(&self) -> usize;
+
+    /// Upper bound on the length of any produced chunk.
+    ///
+    /// [`StreamChunker`] uses this as its look-ahead horizon: a cut is
+    /// final once at least this many bytes are buffered past it.
+    fn max_chunk_size(&self) -> usize;
+
+    /// Returns the sorted, exclusive end offsets of all chunks of `data`.
+    fn cut_points(&self, data: &[u8]) -> Vec<usize> {
+        let mut cuts = Vec::with_capacity(data.len() / self.expected_chunk_size().max(1) + 1);
+        let mut start = 0usize;
+        while start < data.len() {
+            let end = self.next_cut(data, start);
+            debug_assert!(end > start, "next_cut must make progress");
+            cuts.push(end);
+            start = end;
+        }
+        cuts
+    }
 
     /// Convenience: full [`Span`] list tiling `data`.
     fn spans(&self, data: &[u8]) -> Vec<Span> {
@@ -103,17 +151,18 @@ mod trait_tests {
 
     struct Halver;
     impl Chunker for Halver {
-        fn cut_points(&self, data: &[u8]) -> Vec<usize> {
-            if data.is_empty() {
-                vec![]
-            } else if data.len() == 1 {
-                vec![1]
+        fn next_cut(&self, data: &[u8], start: usize) -> usize {
+            if start == 0 && data.len() >= 2 {
+                data.len() / 2
             } else {
-                vec![data.len() / 2, data.len()]
+                data.len()
             }
         }
         fn expected_chunk_size(&self) -> usize {
             0
+        }
+        fn max_chunk_size(&self) -> usize {
+            usize::MAX
         }
     }
 

@@ -2,24 +2,35 @@
 //!
 //! The paper's system chunks "the byte stream created by concatenating the
 //! content of the files in the unprocessed file system". For inputs that do
-//! not fit in memory, [`StreamChunker`] applies a [`Chunker`] incrementally:
-//! it keeps at most `max + refill` bytes buffered, emits every chunk whose
-//! end is provably stable (i.e. at least one `max`-size horizon from the
-//! buffer end), and shifts the buffer.
+//! not fit in memory, [`StreamChunker`] applies any [`Chunker`]
+//! incrementally: it keeps a bounded window buffered, emits every chunk
+//! whose end is provably stable (i.e. at least one `max`-size horizon from
+//! the buffer end), and advances a consumed offset instead of memmoving
+//! the buffer per chunk.
 
 use std::io::Read;
 
-use crate::RabinChunker;
+use crate::{Chunker, RabinChunker};
 
 /// Incrementally chunks a byte stream with bounded memory.
-pub struct StreamChunker<R> {
+///
+/// Works with any [`Chunker`]; the default type parameter keeps existing
+/// `StreamChunker<R>` signatures meaning "Rabin", the paper's base chunker.
+pub struct StreamChunker<R, C: Chunker = RabinChunker> {
     reader: R,
-    chunker: RabinChunker,
+    chunker: C,
     buf: Vec<u8>,
-    /// Absolute stream offset of `buf[0]`.
+    /// Bytes of `buf` below this offset are already emitted. Advancing an
+    /// offset is O(1) per chunk; the old `buf.drain(..cut)` memmoved the
+    /// whole remaining window per chunk — O(stream × max) traffic.
+    pos: usize,
+    /// Absolute stream offset of `buf[pos]`.
     base: u64,
     /// Read granularity.
     refill: usize,
+    /// Reusable read buffer; the old code allocated a fresh one per
+    /// `fill()` call on the hot path.
+    scratch: Vec<u8>,
     eof: bool,
 }
 
@@ -32,21 +43,43 @@ pub struct StreamedChunk {
     pub data: Vec<u8>,
 }
 
-impl<R: Read> StreamChunker<R> {
+impl<R: Read, C: Chunker> StreamChunker<R, C> {
     /// Wraps `reader`, cutting with `chunker`.
-    pub fn new(reader: R, chunker: RabinChunker) -> Self {
-        let refill = chunker.params().max.max(64 * 1024);
-        StreamChunker { reader, chunker, buf: Vec::new(), base: 0, refill, eof: false }
+    pub fn new(reader: R, chunker: C) -> Self {
+        let refill = chunker.max_chunk_size().max(64 * 1024);
+        StreamChunker {
+            reader,
+            chunker,
+            buf: Vec::new(),
+            pos: 0,
+            base: 0,
+            refill,
+            scratch: vec![0u8; refill],
+            eof: false,
+        }
+    }
+
+    /// Unconsumed window size beyond which consumed bytes are compacted
+    /// away. Amortised: one memmove of at most a window per at least three
+    /// windows consumed, bounding the buffer at ~4 windows while keeping
+    /// copy traffic O(1) per byte streamed.
+    fn compact_threshold(&self) -> usize {
+        3 * (2 * self.chunker.max_chunk_size() + self.refill)
     }
 
     fn fill(&mut self) -> std::io::Result<()> {
-        let mut scratch = vec![0u8; self.refill];
-        while !self.eof && self.buf.len() < 2 * self.chunker.params().max + self.refill {
-            let n = self.reader.read(&mut scratch)?;
+        if self.pos >= self.compact_threshold() {
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(self.buf.len() - self.pos);
+            self.pos = 0;
+        }
+        let target = 2 * self.chunker.max_chunk_size() + self.refill;
+        while !self.eof && self.buf.len() - self.pos < target {
+            let n = self.reader.read(&mut self.scratch)?;
             if n == 0 {
                 self.eof = true;
             } else {
-                self.buf.extend_from_slice(&scratch[..n]);
+                self.buf.extend_from_slice(&self.scratch[..n]);
             }
         }
         Ok(())
@@ -55,16 +88,18 @@ impl<R: Read> StreamChunker<R> {
     /// Produces the next chunk, or `Ok(None)` at end of stream.
     pub fn next_chunk(&mut self) -> std::io::Result<Option<StreamedChunk>> {
         self.fill()?;
-        if self.buf.is_empty() {
+        let window = &self.buf[self.pos..];
+        if window.is_empty() {
             return Ok(None);
         }
-        let cut = self.chunker.next_cut(&self.buf, 0);
+        let cut = self.chunker.next_cut(window, 0);
         // A cut is only final if it cannot move when more data arrives:
         // either we are at EOF, or the cut is at least one full `max`
         // horizon before the buffer end (next_cut(_, 0) never looks past
-        // `max` bytes).
-        debug_assert!(self.eof || cut <= self.chunker.params().max);
-        let data: Vec<u8> = self.buf.drain(..cut).collect();
+        // `max_chunk_size` bytes).
+        debug_assert!(self.eof || cut <= self.chunker.max_chunk_size());
+        let data = window[..cut].to_vec();
+        self.pos += cut;
         let offset = self.base;
         self.base += data.len() as u64;
         Ok(Some(StreamedChunk { offset, data }))
@@ -79,12 +114,19 @@ impl<R: Read> StreamChunker<R> {
         }
         Ok(out)
     }
+
+    /// Current buffered bytes including the consumed prefix (test hook for
+    /// the compaction bound).
+    #[cfg(test)]
+    fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Chunker;
+    use crate::{AeChunker, Chunker, FastCdcChunker};
     use rand::prelude::*;
     use rand::rngs::StdRng;
 
@@ -105,6 +147,27 @@ mod tests {
         for (s, e) in streamed.iter().zip(&expect) {
             assert_eq!(s.offset as usize, e.offset);
             assert_eq!(&s.data[..], &data[e.offset..e.end()]);
+        }
+    }
+
+    #[test]
+    fn matches_in_memory_chunking_for_fastcdc_and_ae() {
+        let data = random_data(500_000, 24);
+        let fast = FastCdcChunker::with_avg(1024).unwrap();
+        let ae = AeChunker::with_avg(1024).unwrap();
+
+        let expect = fast.spans(&data);
+        let streamed = StreamChunker::new(&data[..], fast.clone()).collect_all().unwrap();
+        assert_eq!(streamed.len(), expect.len());
+        for (s, e) in streamed.iter().zip(&expect) {
+            assert_eq!((s.offset as usize, s.data.len()), (e.offset, e.len));
+        }
+
+        let expect = ae.spans(&data);
+        let streamed = StreamChunker::new(&data[..], ae.clone()).collect_all().unwrap();
+        assert_eq!(streamed.len(), expect.len());
+        for (s, e) in streamed.iter().zip(&expect) {
+            assert_eq!((s.offset as usize, s.data.len()), (e.offset, e.len));
         }
     }
 
@@ -144,5 +207,28 @@ mod tests {
         let whole = StreamChunker::new(&data[..], chunker.clone()).collect_all().unwrap();
         let trickled = StreamChunker::new(Trickle(&data), chunker).collect_all().unwrap();
         assert_eq!(whole, trickled);
+    }
+
+    #[test]
+    fn compaction_bounds_the_buffer() {
+        // Stream far more data than the compaction threshold; the buffer
+        // must stay bounded near threshold + one window, not grow with the
+        // stream, while producing the exact in-memory boundaries.
+        let chunker = RabinChunker::with_avg(256).unwrap();
+        let data = random_data(2_000_000, 25);
+        let expect = chunker.cut_points(&data);
+
+        let mut s = StreamChunker::new(&data[..], chunker.clone());
+        // Post-fill invariant: consumed prefix < threshold, unconsumed
+        // window < target + one refill of read overshoot.
+        let bound = s.compact_threshold() + 2 * chunker.max_chunk_size() + 2 * s.refill;
+        let mut cuts = Vec::new();
+        let mut consumed = 0usize;
+        while let Some(c) = s.next_chunk().unwrap() {
+            consumed += c.data.len();
+            cuts.push(consumed);
+            assert!(s.buffered_len() <= bound, "buffer grew to {}", s.buffered_len());
+        }
+        assert_eq!(cuts, expect);
     }
 }

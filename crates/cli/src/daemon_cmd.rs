@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! mhd serve            --store <store> --socket <path> [--ecs N] [--sd N]
+//!                      [--chunker rabin|tttd|fixed|fastcdc|ae]
 //!                      [--io-threads N] [--durability none|rename|fsync] [--shards N]
 //! mhd client backup <dir>     --socket <path> --tenant T [--label NAME]
 //! mhd client restore <name>   --socket <path> --tenant T -o <path>
@@ -35,6 +36,9 @@ pub fn cmd_serve(args: &[String]) -> CliResult {
     }
     if let Some(sd) = flag_value(args, "--sd") {
         config.sd = sd.parse()?;
+    }
+    if let Some(chunker) = flag_value(args, "--chunker") {
+        config.chunker = chunker.parse::<mhd_chunking::ChunkerKind>().map_err(|e| e.to_string())?;
     }
     if let Some(shards) = flag_value(args, "--shards") {
         config.index_shards = shards.parse()?;

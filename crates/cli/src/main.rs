@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]
+//!                    [--chunker rabin|tttd|fixed|fastcdc|ae]
 //!                    [--io-threads N] [--durability none|rename|fsync] [--trace]
 //! mhd restore <name> --store <store> -o <path>
 //! mhd ls             --store <store>
@@ -38,7 +39,7 @@ use session::Session;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n                     [--io-threads N] [--durability none|rename|fsync] [--trace]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals [--pretty]]\n  mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]\n  mhd trace analyze  <file.jsonl> | --store <store>  [--json] [--buckets N]\n  mhd compare        <a.json> <b.json> [--fail-on <pct>] [--include-timings] [--json]\n  mhd verify         --store <store> [--deep]\n  mhd fsck           --store <store> [--deep]   (crash recovery + verify)\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]\n  mhd serve          --store <store> --socket <path> [--ecs N] [--sd N]\n                     [--io-threads N] [--durability none|rename|fsync] [--shards N]\n  mhd client backup <dir>   --socket <path> --tenant T [--label NAME]\n  mhd client restore <name> --socket <path> --tenant T -o <path>\n  mhd client ls             --socket <path> --tenant T\n  mhd client gc|fsck|stats|ping|shutdown   --socket <path>"
+        "usage:\n  mhd backup  <dir>  --store <store> [--label NAME] [--ecs N] [--sd N]\n                     [--chunker rabin|tttd|fixed|fastcdc|ae]\n                     [--io-threads N] [--durability none|rename|fsync] [--trace]\n  mhd restore <name> --store <store> -o <path>\n  mhd ls             --store <store>\n  mhd stats          --store <store> [--internals [--pretty]]\n  mhd trace          --store <store> [--format chrome|jsonl] [-o <path>]\n  mhd trace analyze  <file.jsonl> | --store <store>  [--json] [--buckets N]\n  mhd compare        <a.json> <b.json> [--fail-on <pct>] [--include-timings] [--json]\n  mhd verify         --store <store> [--deep]\n  mhd fsck           --store <store> [--deep]   (crash recovery + verify)\n  mhd rm <prefix>    --store <store>   (delete recipes, then gc)\n  mhd gc             --store <store>\n  mhd compact        --store <store> [--threshold 0.7]\n  mhd serve          --store <store> --socket <path> [--ecs N] [--sd N]\n                     [--chunker rabin|tttd|fixed|fastcdc|ae]\n                     [--io-threads N] [--durability none|rename|fsync] [--shards N]\n  mhd client backup <dir>   --socket <path> --tenant T [--label NAME]\n  mhd client restore <name> --socket <path> --tenant T -o <path>\n  mhd client ls             --socket <path> --tenant T\n  mhd client gc|fsck|stats|ping|shutdown   --socket <path>"
     );
     std::process::exit(2)
 }
@@ -106,6 +107,11 @@ fn cmd_backup(args: &[String]) -> CliResult {
     let store = store_path(args)?;
     let ecs = flag_value(args, "--ecs").map(|v| v.parse()).transpose()?.unwrap_or(4096);
     let sd = flag_value(args, "--sd").map(|v| v.parse()).transpose()?.unwrap_or(16);
+    let chunker = flag_value(args, "--chunker")
+        .map(|v| v.parse::<mhd_chunking::ChunkerKind>())
+        .transpose()
+        .map_err(|e| e.to_string())?
+        .unwrap_or_default();
     let label = flag_value(args, "--label").unwrap_or_else(|| {
         // Default label: one per invocation, numbered from existing state.
         String::from("snapshot")
@@ -115,7 +121,7 @@ fn cmd_backup(args: &[String]) -> CliResult {
         mhd_obs::trace_start(mhd_obs::DEFAULT_TRACE_CAPACITY);
     }
 
-    let mut session = Session::open_with(&store, ecs, sd, io_config(args)?)?;
+    let mut session = Session::open_with(&store, ecs, sd, chunker, io_config(args)?)?;
     let stream = session.next_stream_index();
     let snapshot = session::snapshot_from_dir(Path::new(dir), &format!("{label}-{stream}"))?;
     let files = snapshot.files.len();

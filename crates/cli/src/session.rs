@@ -17,6 +17,7 @@
 use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
+use mhd_chunking::ChunkerKind;
 use mhd_core::{DedupReport, Deduplicator, EngineConfig, MhdEngine, MhdState};
 use mhd_store::{Backend, BatchedDirBackend, IoConfig, RecoveryReport};
 use mhd_workload::{FileEntry, Snapshot};
@@ -28,6 +29,42 @@ struct SessionMeta {
     ecs: usize,
     sd: usize,
     streams: u64,
+    /// Chunking algorithm the store's chunks were cut with, spelled as the
+    /// CLI spelling (`rabin`, `tttd`, …). A store keeps its chunker for
+    /// life: re-backing up with a different one would cut boundaries the
+    /// existing chunks can never match.
+    chunker: String,
+}
+
+/// The pre-chunker `meta.json` layout; deserialising it recovers stores
+/// written before the chunker was persisted (those are always Rabin).
+#[derive(Deserialize)]
+struct LegacySessionMeta {
+    ecs: usize,
+    sd: usize,
+    streams: u64,
+}
+
+impl SessionMeta {
+    /// Parses `meta.json` bytes, accepting the legacy (chunker-less)
+    /// layout and defaulting it to Rabin.
+    fn parse(data: &[u8]) -> Result<Self, Box<dyn std::error::Error>> {
+        if let Ok(meta) = serde_json::from_slice::<SessionMeta>(data) {
+            return Ok(meta);
+        }
+        let legacy: LegacySessionMeta = serde_json::from_slice(data)?;
+        Ok(SessionMeta {
+            ecs: legacy.ecs,
+            sd: legacy.sd,
+            streams: legacy.streams,
+            chunker: ChunkerKind::Rabin.as_str().to_string(),
+        })
+    }
+
+    /// The persisted chunker, parsed back into a [`ChunkerKind`].
+    fn kind(&self) -> Result<ChunkerKind, Box<dyn std::error::Error>> {
+        Ok(self.chunker.parse::<ChunkerKind>().map_err(|e| e.to_string())?)
+    }
 }
 
 /// An open store: engine + persisted configuration.
@@ -58,18 +95,20 @@ impl Session {
     }
 
     /// Opens (or initialises) the store at `root` for backup, with default
-    /// I/O tuning.
+    /// I/O tuning and the paper's base chunker (Rabin). Test convenience;
+    /// the CLI always routes through [`Session::open_with`].
+    #[cfg(test)]
     pub fn open(root: &Path, ecs: usize, sd: usize) -> Result<Self, Box<dyn std::error::Error>> {
-        Self::open_with(root, ecs, sd, IoConfig::default())
+        Self::open_with(root, ecs, sd, ChunkerKind::Rabin, IoConfig::default())
     }
 
     /// Opens (or initialises) the store at `root` for backup.
     ///
-    /// `ecs`/`sd` apply only when the store is new; an existing store keeps
-    /// its original parameters (changing the chunking of a live store would
-    /// silently break deduplication against old data). `io` tunes the
-    /// batched backend (worker threads, batch sizes, durability) and
-    /// applies per invocation.
+    /// `ecs`/`sd`/`chunker` apply only when the store is new; an existing
+    /// store keeps its original parameters (changing the chunking of a live
+    /// store would silently break deduplication against old data). `io`
+    /// tunes the batched backend (worker threads, batch sizes, durability)
+    /// and applies per invocation.
     ///
     /// Opening always runs the backend's crash-recovery pass first: any
     /// write that was in flight when a previous process died is rolled
@@ -78,6 +117,7 @@ impl Session {
         root: &Path,
         ecs: usize,
         sd: usize,
+        chunker: ChunkerKind,
         io: IoConfig,
     ) -> Result<Self, Box<dyn std::error::Error>> {
         std::fs::create_dir_all(root.join("session"))
@@ -85,16 +125,16 @@ impl Session {
         let (state_path, meta_path) = Self::paths(root);
 
         let meta: SessionMeta = if meta_path.exists() {
-            let meta: SessionMeta = serde_json::from_slice(&std::fs::read(&meta_path)?)?;
-            if meta.ecs != ecs || meta.sd != sd {
+            let meta = SessionMeta::parse(&std::fs::read(&meta_path)?)?;
+            if meta.ecs != ecs || meta.sd != sd || meta.kind()? != chunker {
                 eprintln!(
-                    "note: store was created with --ecs {} --sd {}; keeping those",
-                    meta.ecs, meta.sd
+                    "note: store was created with --ecs {} --sd {} --chunker {}; keeping those",
+                    meta.ecs, meta.sd, meta.chunker
                 );
             }
             meta
         } else {
-            SessionMeta { ecs, sd, streams: 0 }
+            SessionMeta { ecs, sd, streams: 0, chunker: chunker.as_str().to_string() }
         };
 
         let mut backend = BatchedDirBackend::create_with(root, io)?;
@@ -105,7 +145,7 @@ impl Session {
                 recovery.tmp_files_removed, recovery.intents_resolved
             );
         }
-        let config = EngineConfig::new(meta.ecs, meta.sd);
+        let config = EngineConfig::new(meta.ecs, meta.sd).with_chunker(meta.kind()?);
         let mut engine = MhdEngine::new(backend, config)?;
         if state_path.exists() {
             let mut state: MhdState = serde_json::from_slice(&std::fs::read(&state_path)?)?;
@@ -126,10 +166,12 @@ impl Session {
         if !root.join("session").exists() {
             return Err(format!("{} is not an mhd store", root.display()).into());
         }
-        // ecs/sd don't matter for reads; reuse open() with stored meta.
+        // ecs/sd/chunker don't matter for reads; pass the stored values so
+        // no spurious mismatch note is printed.
         let (_, meta_path) = Self::paths(root);
-        let meta: SessionMeta = serde_json::from_slice(&std::fs::read(meta_path)?)?;
-        Self::open(root, meta.ecs, meta.sd)
+        let meta = SessionMeta::parse(&std::fs::read(meta_path)?)?;
+        let kind = meta.kind()?;
+        Self::open_with(root, meta.ecs, meta.sd, kind, IoConfig::default())
     }
 
     /// Index for the next backup stream (for default labels).
@@ -420,6 +462,64 @@ mod tests {
             growth < input / 5,
             "legacy-format store must still dedup (grew {growth} of {input})"
         );
+
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&store).unwrap();
+    }
+
+    #[test]
+    fn chunker_choice_persists_across_sessions() {
+        let src = temp_root("src4");
+        let store = temp_root("store4");
+        write_tree(&src, 4);
+
+        // Create the store with FastCDC.
+        let mut s =
+            Session::open_with(&store, 512, 8, ChunkerKind::FastCdc, IoConfig::default()).unwrap();
+        s.backup(&snapshot_from_dir(&src, "day0").unwrap()).unwrap();
+        s.close().unwrap();
+
+        // Reopen with the Rabin default: the store must keep FastCDC and
+        // still dedup the identical content.
+        let mut s = Session::open(&store, 512, 8).unwrap();
+        assert_eq!(s.meta.kind().unwrap(), ChunkerKind::FastCdc);
+        let before = s.ledger_output_bytes();
+        let snap = snapshot_from_dir(&src, "day1").unwrap();
+        let input: u64 = snap.files.iter().map(|f| f.data.len() as u64).sum();
+        s.backup(&snap).unwrap();
+        s.close().unwrap();
+
+        let mut s = Session::open_readonly(&store).unwrap();
+        assert_eq!(s.meta.kind().unwrap(), ChunkerKind::FastCdc);
+        let growth = s.ledger_output_bytes() - before;
+        assert!(growth < input / 5, "re-backup must dedup (grew {growth} of {input})");
+        let restored = s.restore("day1/a.bin").unwrap();
+        assert_eq!(restored, std::fs::read(src.join("a.bin")).unwrap());
+
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&store).unwrap();
+    }
+
+    #[test]
+    fn legacy_meta_without_chunker_opens_as_rabin() {
+        let src = temp_root("src5");
+        let store = temp_root("store5");
+        write_tree(&src, 5);
+        let mut s = Session::open(&store, 512, 8).unwrap();
+        s.backup(&snapshot_from_dir(&src, "day0").unwrap()).unwrap();
+        s.close().unwrap();
+
+        // Rewrite meta.json in the pre-chunker layout.
+        let meta_path = store.join("session/meta.json");
+        let meta = SessionMeta::parse(&std::fs::read(&meta_path).unwrap()).unwrap();
+        std::fs::write(
+            &meta_path,
+            format!("{{\"ecs\":{},\"sd\":{},\"streams\":{}}}", meta.ecs, meta.sd, meta.streams),
+        )
+        .unwrap();
+
+        let s = Session::open_readonly(&store).unwrap();
+        assert_eq!(s.meta.kind().unwrap(), ChunkerKind::Rabin);
 
         std::fs::remove_dir_all(&src).unwrap();
         std::fs::remove_dir_all(&store).unwrap();

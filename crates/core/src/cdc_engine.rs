@@ -12,7 +12,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use mhd_bloom::BloomFilter;
 use mhd_cache::ManifestCache;
-use mhd_chunking::RabinChunker;
+use mhd_chunking::AnyChunker;
 use mhd_hash::ChunkHash;
 use mhd_store::{
     Backend, Extent, FileManifest, Manifest, ManifestEntry, ManifestFormat, Substrate,
@@ -27,7 +27,7 @@ use crate::engine::{
 /// Flat content-defined-chunking deduplicator with a full per-chunk index.
 pub struct CdcEngine<B: Backend> {
     config: EngineConfig,
-    chunker: RabinChunker,
+    chunker: AnyChunker,
     substrate: Substrate<B>,
     bloom: BloomFilter,
     cache: ManifestCache,
@@ -43,7 +43,7 @@ impl<B: Backend> CdcEngine<B> {
     pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
         config.validate().map_err(EngineError::Config)?;
         let chunker =
-            RabinChunker::with_avg(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
+            config.chunker.build(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
         Ok(CdcEngine {
             chunker,
             substrate: Substrate::new(backend),

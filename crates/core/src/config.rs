@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use mhd_chunking::ChunkerKind;
 use serde::{Deserialize, Serialize};
 
 /// How HHR represents the duplicate region it discovers inside a merged
@@ -81,6 +82,11 @@ pub struct EngineConfig {
     pub bloom_bytes: usize,
     /// Manifest cache capacity (number of resident manifests).
     pub cache_manifests: usize,
+    /// Chunking algorithm used for the small-chunk stream (and, scaled to
+    /// `ECS × SD`, for Bimodal/SubChunk/FBC big chunks). Persisted in store
+    /// metadata so re-backups keep cutting the boundaries the store's
+    /// existing chunks were built with.
+    pub chunker: ChunkerKind,
     /// MHD-specific options.
     pub mhd: MhdOptions,
 }
@@ -92,6 +98,7 @@ impl Default for EngineConfig {
             sd: 32,
             bloom_bytes: 1 << 20,
             cache_manifests: 256,
+            chunker: ChunkerKind::Rabin,
             mhd: MhdOptions::default(),
         }
     }
@@ -101,6 +108,11 @@ impl EngineConfig {
     /// Config with the given `ECS` and `SD`, other fields default.
     pub fn new(ecs: usize, sd: usize) -> Self {
         EngineConfig { ecs, sd, ..Default::default() }
+    }
+
+    /// Same config with a different chunking algorithm.
+    pub fn with_chunker(self, chunker: ChunkerKind) -> Self {
+        EngineConfig { chunker, ..self }
     }
 
     /// Expected big chunk size for Bimodal/SubChunk: `ECS × SD`.

@@ -1,7 +1,7 @@
 //! The common engine interface and shared helpers.
 
 use bytes::Bytes;
-use mhd_chunking::{Chunker, RabinChunker};
+use mhd_chunking::Chunker;
 use mhd_hash::{sha1, ChunkHash};
 use mhd_store::{IoStats, MetadataLedger, StoreError};
 use mhd_workload::Snapshot;
@@ -70,7 +70,11 @@ impl HashedChunk {
 
 /// Chunks `data` and hashes every chunk, fanning the SHA-1 work out over
 /// rayon (chunk boundaries are sequential by nature; hashing is not).
-pub fn chunk_and_hash(chunker: &RabinChunker, data: &Bytes) -> Vec<HashedChunk> {
+///
+/// Takes the chunker as a trait object: every engine routes through here,
+/// so any [`Chunker`] — Rabin, TTTD, fixed, FastCDC, AE — plugs into every
+/// engine unchanged.
+pub fn chunk_and_hash(chunker: &dyn Chunker, data: &Bytes) -> Vec<HashedChunk> {
     let spans = chunker.spans(data);
     let _timer = mhd_obs::span!("stage.hashing_ns");
     mhd_obs::counter!("hashing.chunks").add(spans.len() as u64);
@@ -199,6 +203,7 @@ impl SliceTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mhd_chunking::RabinChunker;
 
     #[test]
     fn chunk_and_hash_matches_sequential() {

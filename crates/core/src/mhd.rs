@@ -29,7 +29,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use mhd_bloom::BloomFilter;
 use mhd_cache::ManifestCache;
-use mhd_chunking::RabinChunker;
+use mhd_chunking::AnyChunker;
 use mhd_hash::{sha1, ChunkHash, FxHashMap, FxHashSet};
 use mhd_store::{
     Backend, DiskChunkBuilder, Extent, FileManifest, IoStats, Manifest, ManifestEntry,
@@ -46,7 +46,7 @@ use crate::engine::{
 /// The BF-MHD engine (Bloom-filter-based MHD, the variant evaluated in §V).
 pub struct MhdEngine<B: Backend> {
     config: EngineConfig,
-    chunker: RabinChunker,
+    chunker: AnyChunker,
     substrate: Substrate<B>,
     bloom: BloomFilter,
     /// SI-MHD only: the in-RAM hook index replacing Bloom filter + on-disk
@@ -113,7 +113,7 @@ impl<B: Backend> MhdEngine<B> {
     pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
         config.validate().map_err(EngineError::Config)?;
         let chunker =
-            RabinChunker::with_avg(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
+            config.chunker.build(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
         Ok(MhdEngine {
             chunker,
             substrate: Substrate::new(backend),

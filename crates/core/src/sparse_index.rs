@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use mhd_cache::ManifestCache;
-use mhd_chunking::RabinChunker;
+use mhd_chunking::AnyChunker;
 use mhd_hash::{ChunkHash, FxHashMap};
 use mhd_store::{
     Backend, Extent, FileManifest, Manifest, ManifestEntry, ManifestFormat, ManifestId, Substrate,
@@ -38,7 +38,7 @@ struct SegChunk {
 /// Segment-and-champion deduplicator with a RAM sparse index.
 pub struct SparseIndexEngine<B: Backend> {
     config: EngineConfig,
-    chunker: RabinChunker,
+    chunker: AnyChunker,
     substrate: Substrate<B>,
     cache: ManifestCache,
     /// hook hash → up to `manifests_per_hook` manifest ids, most recent
@@ -56,7 +56,7 @@ impl<B: Backend> SparseIndexEngine<B> {
     pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
         config.validate().map_err(EngineError::Config)?;
         let chunker =
-            RabinChunker::with_avg(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
+            config.chunker.build(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
         Ok(SparseIndexEngine {
             chunker,
             substrate: Substrate::new(backend),

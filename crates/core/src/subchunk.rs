@@ -23,7 +23,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use mhd_bloom::BloomFilter;
 use mhd_cache::ManifestCache;
-use mhd_chunking::RabinChunker;
+use mhd_chunking::AnyChunker;
 use mhd_hash::{ChunkHash, FxHashMap};
 use mhd_store::{
     Backend, Extent, FileManifest, Manifest, ManifestEntry, ManifestFormat, Substrate,
@@ -38,8 +38,8 @@ use crate::engine::{
 /// Anchor-driven subchunk deduplicator.
 pub struct SubChunkEngine<B: Backend> {
     config: EngineConfig,
-    big_chunker: RabinChunker,
-    small_chunker: RabinChunker,
+    big_chunker: AnyChunker,
+    small_chunker: AnyChunker,
     substrate: Substrate<B>,
     bloom: BloomFilter,
     cache: ManifestCache,
@@ -58,8 +58,10 @@ impl<B: Backend> SubChunkEngine<B> {
     pub fn new(backend: B, config: EngineConfig) -> EngineResult<Self> {
         config.validate().map_err(EngineError::Config)?;
         let small_chunker =
-            RabinChunker::with_avg(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
-        let big_chunker = RabinChunker::with_avg(config.big_chunk_size())
+            config.chunker.build(config.ecs).map_err(|e| EngineError::Config(e.to_string()))?;
+        let big_chunker = config
+            .chunker
+            .build(config.big_chunk_size())
             .map_err(|e| EngineError::Config(e.to_string()))?;
         Ok(SubChunkEngine {
             big_chunker,

@@ -61,6 +61,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use mhd_chunking::ChunkerKind;
 use mhd_core::gc::GcReport;
 use mhd_core::{Deduplicator, EngineConfig, MhdEngine, MhdState, SessionDelta};
 use mhd_hash::{ChunkHash, FxHashSet};
@@ -110,6 +111,9 @@ pub struct DaemonConfig {
     pub ecs: usize,
     /// Slices per DiskChunk / Manifest (`SD`; new stores only).
     pub sd: usize,
+    /// Chunking algorithm (new stores only; an existing store keeps the
+    /// chunker its chunks were cut with).
+    pub chunker: ChunkerKind,
     /// Batched-backend I/O tuning (threads, batch sizes, durability).
     pub io: IoConfig,
     /// Shard count for the in-memory hook index.
@@ -118,7 +122,13 @@ pub struct DaemonConfig {
 
 impl Default for DaemonConfig {
     fn default() -> Self {
-        DaemonConfig { ecs: 4096, sd: 16, io: IoConfig::default(), index_shards: 8 }
+        DaemonConfig {
+            ecs: 4096,
+            sd: 16,
+            chunker: ChunkerKind::Rabin,
+            io: IoConfig::default(),
+            index_shards: 8,
+        }
     }
 }
 
@@ -129,6 +139,39 @@ struct StoreMeta {
     ecs: usize,
     sd: usize,
     streams: u64,
+    /// Chunking algorithm, spelled as the CLI spelling (`rabin`, …).
+    chunker: String,
+}
+
+/// The pre-chunker `meta.json` layout; stores written before the chunker
+/// was persisted are always Rabin.
+#[derive(Deserialize)]
+struct LegacyStoreMeta {
+    ecs: usize,
+    sd: usize,
+    streams: u64,
+}
+
+impl StoreMeta {
+    /// Parses `meta.json` bytes, accepting the legacy (chunker-less)
+    /// layout and defaulting it to Rabin.
+    fn parse(data: &[u8]) -> Result<Self, String> {
+        if let Ok(meta) = serde_json::from_slice::<StoreMeta>(data) {
+            return Ok(meta);
+        }
+        let legacy: LegacyStoreMeta = serde_json::from_slice(data).map_err(|e| e.to_string())?;
+        Ok(StoreMeta {
+            ecs: legacy.ecs,
+            sd: legacy.sd,
+            streams: legacy.streams,
+            chunker: ChunkerKind::Rabin.as_str().to_string(),
+        })
+    }
+
+    /// The persisted chunker, parsed back into a [`ChunkerKind`].
+    fn kind(&self) -> Result<ChunkerKind, String> {
+        self.chunker.parse::<ChunkerKind>().map_err(|e| e.to_string())
+    }
 }
 
 /// What the open-time recovery pass did (backend pass + daemon rollback).
@@ -288,6 +331,7 @@ pub struct SharedStore {
     recovery: RecoverySummary,
     ecs: usize,
     sd: usize,
+    chunker: ChunkerKind,
 }
 
 /// Writes `data` through a hidden tmp sibling + atomic rename so state
@@ -344,11 +388,17 @@ impl SharedStore {
         let meta: StoreMeta = if meta_path.exists() {
             let data = std::fs::read(&meta_path)
                 .map_err(|e| DaemonError::State(format!("read {}: {e}", meta_path.display())))?;
-            serde_json::from_slice(&data)
+            StoreMeta::parse(&data)
                 .map_err(|e| DaemonError::State(format!("parse {}: {e}", meta_path.display())))?
         } else {
-            StoreMeta { ecs: config.ecs, sd: config.sd, streams: 0 }
+            StoreMeta {
+                ecs: config.ecs,
+                sd: config.sd,
+                streams: 0,
+                chunker: config.chunker.as_str().to_string(),
+            }
         };
+        let chunker = meta.kind().map_err(DaemonError::State)?;
 
         let mut backend = BatchedDirBackend::create_with(root, config.io)?;
         let backend_recovery = backend.recover()?;
@@ -391,7 +441,8 @@ impl SharedStore {
             &mut recovery,
         )?;
 
-        let mut engine = MhdEngine::new(backend, EngineConfig::new(meta.ecs, meta.sd))?;
+        let mut engine =
+            MhdEngine::new(backend, EngineConfig::new(meta.ecs, meta.sd).with_chunker(chunker))?;
         if let Some(state) = state {
             engine.import_state(state)?;
         }
@@ -415,6 +466,7 @@ impl SharedStore {
             recovery,
             ecs: meta.ecs,
             sd: meta.sd,
+            chunker,
         };
         // Persist immediately: a brand-new store gets its watermark files,
         // a recovered one gets a clean baseline.
@@ -523,13 +575,14 @@ impl SharedStore {
     pub fn persist(&self) -> DaemonResult<()> {
         let mut inner = self.inner.lock();
         let _ = inner.engine.finish()?;
-        Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner)
+        Self::persist_locked(&self.root, self.ecs, self.sd, self.chunker, &mut inner)
     }
 
     fn persist_locked(
         root: &Path,
         ecs: usize,
         sd: usize,
+        chunker: ChunkerKind,
         inner: &mut StoreInner,
     ) -> DaemonResult<()> {
         let mut state = inner.engine.export_state();
@@ -547,7 +600,8 @@ impl SharedStore {
         let state_json = serde_json::to_vec(&state)
             .map_err(|e| DaemonError::State(format!("encode state: {e}")))?;
         write_atomic(&Self::state_path(root), &state_json)?;
-        let meta = StoreMeta { ecs, sd, streams: inner.streams };
+        let meta =
+            StoreMeta { ecs, sd, streams: inner.streams, chunker: chunker.as_str().to_string() };
         let meta_json = serde_json::to_vec(&meta)
             .map_err(|e| DaemonError::State(format!("encode meta: {e}")))?;
         write_atomic(&Self::meta_path(root), &meta_json)?;
@@ -669,7 +723,8 @@ impl SharedStore {
             .and_then(|hook_hashes| {
                 inner.streams += 1;
                 let _t = mhd_obs::span!("daemon.commit_persist_ns");
-                match Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner) {
+                match Self::persist_locked(&self.root, self.ecs, self.sd, self.chunker, &mut inner)
+                {
                     Ok(()) => Ok(hook_hashes),
                     Err(e) => {
                         inner.streams -= 1;
@@ -711,7 +766,13 @@ impl SharedStore {
                     let recipe_prefix =
                         safe_name(&format!("{}/{}/", session.tenant, session.label));
                     Self::undo_failed_publish(&mut inner, &recipe_prefix);
-                    let _ = Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner);
+                    let _ = Self::persist_locked(
+                        &self.root,
+                        self.ecs,
+                        self.sd,
+                        self.chunker,
+                        &mut inner,
+                    );
                     drop(inner);
                     self.cleanup_session(&session.tenant, &session.label, session.sid);
                     Err(e)
@@ -725,7 +786,10 @@ impl SharedStore {
     /// as the presence oracle.
     fn build_staging_engine(&self) -> DaemonResult<MhdEngine<StagingBackend>> {
         let backend = StagingBackend::over(&self.root)?;
-        let mut engine = MhdEngine::new(backend, EngineConfig::new(self.ecs, self.sd))?;
+        let mut engine = MhdEngine::new(
+            backend,
+            EngineConfig::new(self.ecs, self.sd).with_chunker(self.chunker),
+        )?;
         engine.substrate_mut().ensure_id_floor(LOCAL_ID_BASE, LOCAL_ID_BASE);
         engine.set_hook_presence(self.index.clone());
         Ok(engine)
@@ -961,7 +1025,7 @@ impl SharedStore {
         let watermark = inner.engine.substrate().chunk_id_watermark();
         let cutoff = self.registry.min_watermark().map_or(watermark, |w| w.min(watermark));
         let report = mhd_core::gc::collect_protected(inner.engine.substrate_mut(), cutoff)?;
-        Self::persist_locked(&self.root, self.ecs, self.sd, &mut inner)?;
+        Self::persist_locked(&self.root, self.ecs, self.sd, self.chunker, &mut inner)?;
         mhd_obs::counter!("daemon.gc_runs").inc();
         Ok(report)
     }

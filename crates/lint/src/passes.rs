@@ -20,7 +20,7 @@ use crate::source::{matching_close, SourceFile, ALLOW_NAMES};
 /// `mhd_obs::SCOPE_LABEL_KEYS`; the real registry is re-parsed from the
 /// obs source when present so the two cannot drift silently.
 pub const DEFAULT_SCOPE_KEYS: &[&str] =
-    &["cmd", "engine", "fleet", "io", "run", "shard", "t", "tenant"];
+    &["chunker", "cmd", "engine", "fleet", "io", "run", "shard", "t", "tenant"];
 
 /// Fallback stage-name prefixes, mirroring `mhd_obs::STAGE_NAME_PREFIXES`.
 pub const DEFAULT_STAGE_PREFIXES: &[&str] =
@@ -161,6 +161,9 @@ fn l1_restricted(rel: &str) -> bool {
                 | "crates/core/src/shard.rs"
                 | "crates/core/src/fsck.rs"
                 | "crates/core/src/mhd.rs"
+                | "crates/chunking/src/fastcdc.rs"
+                | "crates/chunking/src/ae.rs"
+                | "crates/chunking/src/simd.rs"
         )
 }
 
