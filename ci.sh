@@ -20,10 +20,13 @@
 #   6. chunker   — chunker_bench smoke: per-chunker byte-exact restore
 #      probe, SWAR/scalar/calibrated FastCDC cut-point identity, and the
 #      FastCDC >= Rabin throughput gate
-#   7. lint      — mhd-lint invariant passes (ratcheted against
-#      lint-baseline.json) + exhaustive model checking of the flush,
-#      trace-ring, and GC-protection/splice-order protocols, plus all
-#      seeded-bug mutants as negative tests of the checker itself
+#   7. lint      — mhd-lint invariant passes incl. L7 lock-order and L8
+#      id-range (ratcheted against lint-baseline.json, SARIF emitted) +
+#      exhaustive model checking of all six protocols (flush, trace-ring,
+#      GC-protection/splice-order, two-phase publish, intent-record
+#      crash recovery, compaction-vs-GC) on separate threads with
+#      --require-complete, plus all seven seeded-bug mutants as negative
+#      tests of the checker itself
 #   8. rustfmt   — style, enforced via rustfmt.toml
 #   9. clippy    — all targets, warnings are errors
 #  10. rustdoc   — every public item documented, no broken links
@@ -151,13 +154,33 @@ CHUNKER_BENCH_REQUIRE_FASTCDC=1 ./target/release/chunker_bench \
 }
 
 step "lint: mhd-lint invariant passes + model checking"
-./target/release/mhd-lint --baseline lint-baseline.json
+# Release binary: the publish/intent/compact-gc state spaces are explored
+# exhaustively, and the six models run on separate threads inside the
+# binary. --require-complete turns any truncated exploration into a hard
+# failure — an unexplored model proves nothing, baseline or not.
+./target/release/mhd-lint --baseline lint-baseline.json \
+    --require-complete --sarif "$SMOKE/mhd-lint.sarif"
+[[ -f "$SMOKE/mhd-lint.sarif" ]] || {
+    echo "error: mhd-lint.sarif was not written" >&2
+    exit 1
+}
+# Belt and braces on completeness: the JSON report must say every model
+# explored its whole state space ("complete": true on all six).
+./target/release/mhd-lint --mck-only --require-complete --json \
+    > "$SMOKE/mhd-lint.json"
+if grep -q '"complete": false' "$SMOKE/mhd-lint.json"; then
+    echo "error: a model exploration was truncated" >&2
+    exit 1
+fi
 # The checker must still catch the seeded historical bugs — a checker
 # that stops finding them is itself broken.
 ./target/release/mhd-lint --mutant flush-order > /dev/null
 ./target/release/mhd-lint --mutant ring-prune > /dev/null
 ./target/release/mhd-lint --mutant gc-protect > /dev/null
 ./target/release/mhd-lint --mutant splice-order > /dev/null
+./target/release/mhd-lint --mutant publish-epoch > /dev/null
+./target/release/mhd-lint --mutant intent-retire > /dev/null
+./target/release/mhd-lint --mutant compact-sweep > /dev/null
 
 step "cargo fmt --check"
 cargo fmt --check

@@ -87,5 +87,6 @@ pub use registry::SessionRegistry;
 pub use server::{Daemon, ServeHandle};
 pub use shared::{
     CommitReport, DaemonConfig, DaemonStats, RecoverySummary, SharedStore, WriteSession,
+    LOCAL_ID_BASE, MAX_COMMIT_RETRIES,
 };
 pub use staging::{Overlay, StagingBackend};

@@ -88,7 +88,12 @@ type DaemonBackend = IndexingBackend<FaultBackend<BatchedDirBackend>>;
 /// above this base, far beyond any real store id, so a staged id can
 /// never collide with a read-through shared id and the publish remap is
 /// a simple subtraction.
-const LOCAL_ID_BASE: u64 = 1 << 48;
+///
+/// Public because the invariant it anchors is enforced from outside this
+/// crate too: `mhd-lint`'s L8 id-range pass proves every backend write
+/// either stays below this floor or flows through the splice remap, and
+/// its `PublishModel` model-checks the reserve/remap protocol itself.
+pub const LOCAL_ID_BASE: u64 = 1 << 48;
 
 /// A conflicted commit re-runs phase 1 at most this many times before
 /// publishing anyway — still correct, just storing some duplicate chunks
@@ -96,7 +101,10 @@ const LOCAL_ID_BASE: u64 = 1 << 48;
 /// retry costs one staged pipeline run (milliseconds), so the budget is
 /// generous: exhausting it needs a fresh racing publish on every attempt,
 /// which heavy day-0 hook sharing can produce under oversubscription.
-const MAX_COMMIT_RETRIES: u32 = 8;
+///
+/// Public so `mhd-lint`'s `PublishModel` (which model-checks the bounded
+/// retry against the epoch log) can tie itself to the shipped value.
+pub const MAX_COMMIT_RETRIES: u32 = 8;
 
 /// How many recent publishes keep their hook-hash sets for conflict
 /// detection. A pipeline that started more than this many publishes ago

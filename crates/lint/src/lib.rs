@@ -15,27 +15,38 @@
 //!   (`SCOPE_LABEL_KEYS`, `STAGE_NAME_PREFIXES`), so traces aggregate;
 //! * **L5** — crate roots warn on missing docs, and only binary crates
 //!   may force the `obs` cargo feature;
-//! * **L6** — crates without `unsafe` forbid it at the root.
+//! * **L6** — crates without `unsafe` forbid it at the root;
+//! * **L7** — the daemon's lock acquisition graph stays acyclic and the
+//!   engine lock is never acquired while another lock is held ([`locks`]);
+//! * **L8** — staging ids live above one canonical `LOCAL_ID_BASE` floor
+//!   and the publish splice remaps every one of them ([`idrange`]).
 //!
 //! The passes run over a dependency-free in-tree lexer ([`lexer`]); the
 //! concurrency side ([`mck`], [`models`]) exhaustively explores the
-//! batched flush-barrier protocol and the trace-ring prune protocol over
-//! every interleaving, treating every reachable state as a crash point.
-//! Findings ratchet against `lint-baseline.json` ([`findings`]): known
-//! debt is tolerated, new debt fails CI, burn-down is free.
+//! batched flush-barrier, trace-ring prune, GC-watermark, two-phase
+//! publish, intent-record crash-recovery, and compaction-vs-GC protocols
+//! over every interleaving, treating every reachable state as a crash
+//! point. Findings ratchet against `lint-baseline.json` ([`findings`]):
+//! known debt is tolerated, new debt fails CI, burn-down is free.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod findings;
+pub mod idrange;
 pub mod lexer;
+pub mod locks;
 pub mod mck;
 pub mod models;
 pub mod passes;
+pub mod sarif;
 pub mod source;
 
 pub use findings::{Baseline, Finding, Ratchet};
+pub use idrange::pass_l8_id_range;
+pub use locks::{lock_graph, pass_l7_lock_order, LockGraph};
 pub use mck::{check, CheckResult, Model, Violation};
-pub use models::{FlushModel, RingModel};
+pub use models::{CompactGcModel, FlushModel, IntentModel, PublishModel, RingModel};
 pub use passes::{run_passes, Workspace};
+pub use sarif::to_sarif;
 pub use source::SourceFile;

@@ -1,13 +1,22 @@
 //! CLI driver for the workspace linter and model checker.
 //!
 //! ```text
-//! mhd-lint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]
-//!          [--skip-mck] [--mck-only] [--max-states N]
-//!          [--mutant flush-order|ring-prune|gc-protect|splice-order]
+//! mhd-lint [--root DIR] [--json] [--sarif FILE] [--baseline FILE]
+//!          [--write-baseline FILE] [--skip-mck] [--mck-only]
+//!          [--model NAME] [--max-states N] [--require-complete]
+//!          [--mutant flush-order|ring-prune|gc-protect|splice-order|
+//!                    publish-epoch|intent-retire|compact-sweep]
 //! ```
 //!
 //! Exit codes: `0` clean (or all findings baselined), `1` new findings /
 //! model-checker violation / truncated exploration, `2` usage error.
+//!
+//! The shipped-model suite (flush-order, ring-prune, gc-protect, publish,
+//! intent, compact-gc) runs each model on its own thread — the models are
+//! independent state spaces, so the wall-clock cost is the largest one,
+//! not the sum. `--model NAME` restricts the suite to one model;
+//! `--require-complete` turns *any* truncated exploration into a hard
+//! failure even if a baseline would have absorbed the finding.
 //!
 //! `--mutant` inverts the contract: it seeds a historical bug into the
 //! named model and exits `0` only if the checker *catches* it — CI runs
@@ -22,18 +31,23 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mhd_lint::mck::{check, CheckResult};
-use mhd_lint::models::{FlushModel, GcProtectModel, RingModel};
-use mhd_lint::{Baseline, Finding, Workspace};
+use mhd_lint::models::{
+    CompactGcModel, FlushModel, GcProtectModel, IntentModel, PublishModel, RingModel,
+};
+use mhd_lint::{to_sarif, Baseline, Finding, Workspace};
 use serde_json::{Number, Value};
 
 struct Options {
     root: PathBuf,
     json: bool,
+    sarif: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     skip_mck: bool,
     mck_only: bool,
+    model: Option<String>,
     max_states: usize,
+    require_complete: bool,
     mutant: Option<String>,
 }
 
@@ -47,9 +61,11 @@ macro_rules! out {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mhd-lint [--root DIR] [--json] [--baseline FILE] \
-         [--write-baseline FILE] [--skip-mck] [--mck-only] [--max-states N] \
-         [--mutant flush-order|ring-prune|gc-protect|splice-order]"
+        "usage: mhd-lint [--root DIR] [--json] [--sarif FILE] [--baseline FILE] \
+         [--write-baseline FILE] [--skip-mck] [--mck-only] [--model NAME] \
+         [--max-states N] [--require-complete] \
+         [--mutant flush-order|ring-prune|gc-protect|splice-order|publish-epoch|\
+         intent-retire|compact-sweep]"
     );
     ExitCode::from(2)
 }
@@ -58,11 +74,14 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
         root: PathBuf::from("."),
         json: false,
+        sarif: None,
         baseline: None,
         write_baseline: None,
         skip_mck: false,
         mck_only: false,
+        model: None,
         max_states: 5_000_000,
+        require_complete: false,
         mutant: None,
     };
     let mut args = std::env::args().skip(1);
@@ -80,8 +99,11 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--write-baseline" => {
                 opts.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
             }
+            "--sarif" => opts.sarif = Some(PathBuf::from(value("--sarif")?)),
             "--skip-mck" => opts.skip_mck = true,
             "--mck-only" => opts.mck_only = true,
+            "--model" => opts.model = Some(value("--model")?),
+            "--require-complete" => opts.require_complete = true,
             "--max-states" => {
                 opts.max_states = value("--max-states")?.parse().map_err(|_| {
                     eprintln!("mhd-lint: --max-states needs an integer");
@@ -121,12 +143,15 @@ fn main() -> ExitCode {
         findings = mhd_lint::run_passes(&ws);
     }
 
-    // Model checking: the shipped protocols, exhaustively.
-    let mut mck_results: Vec<(&str, CheckResult)> = Vec::new();
+    // Model checking: the shipped protocols, exhaustively, one thread
+    // per model (independent state spaces — wall-clock is the largest
+    // model, not the sum).
+    let mut mck_results: Vec<(&'static str, CheckResult)> = Vec::new();
     if !opts.skip_mck {
-        mck_results.push(("flush-order", check(&FlushModel::shipped(), opts.max_states)));
-        mck_results.push(("ring-prune", check(&RingModel::shipped(), opts.max_states)));
-        mck_results.push(("gc-protect", check(&GcProtectModel::shipped(), opts.max_states)));
+        mck_results = match shipped_suite(opts.model.as_deref(), opts.max_states) {
+            Ok(results) => results,
+            Err(code) => return code,
+        };
         for (name, result) in &mck_results {
             if let Some(v) = &result.violation {
                 findings.push(Finding {
@@ -141,8 +166,12 @@ fn main() -> ExitCode {
                     file: format!("model:{name}"),
                     line: 0,
                     message: format!(
-                        "exploration truncated at {} states; raise --max-states",
-                        result.states
+                        "exploration truncated at {} states with {} frontier state(s) \
+                         unexplored (deepest path: {} steps {:?}); raise --max-states",
+                        result.states,
+                        result.frontier,
+                        result.deepest_path.len(),
+                        result.deepest_path
                     ),
                 });
             }
@@ -176,6 +205,13 @@ fn main() -> ExitCode {
     };
     let ratchet = baseline.ratchet(findings);
 
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, to_sarif(&ratchet.new, &ratchet.baselined)) {
+            eprintln!("mhd-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     if opts.json {
         out!("{}", report_json(&ratchet.new, &ratchet.baselined, &mck_results));
     } else {
@@ -186,7 +222,13 @@ fn main() -> ExitCode {
             out!(
                 "model {name}: {} states explored{}",
                 result.states,
-                if result.passed() { ", no violations" } else { "" }
+                if result.passed() {
+                    ", no violations".to_string()
+                } else if result.truncated {
+                    format!(", TRUNCATED ({} frontier state(s) abandoned)", result.frontier)
+                } else {
+                    String::new()
+                }
             );
         }
         out!(
@@ -195,11 +237,54 @@ fn main() -> ExitCode {
             ratchet.baselined.len()
         );
     }
+    // An incomplete exploration proves nothing: under --require-complete
+    // it fails the run outright, baseline or no baseline.
+    let incomplete = mck_results.iter().any(|(_, r)| !r.complete());
+    if opts.require_complete && incomplete {
+        eprintln!("mhd-lint: --require-complete: a model exploration was truncated");
+        return ExitCode::from(1);
+    }
     if ratchet.new.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Checks each shipped model on its own thread; `only` restricts the
+/// suite to one model by name.
+fn shipped_suite(
+    only: Option<&str>,
+    max_states: usize,
+) -> Result<Vec<(&'static str, CheckResult)>, ExitCode> {
+    type Runner = Box<dyn FnOnce(usize) -> CheckResult + Send>;
+    let runners: Vec<(&'static str, Runner)> = vec![
+        ("flush-order", Box::new(|n| check(&FlushModel::shipped(), n))),
+        ("ring-prune", Box::new(|n| check(&RingModel::shipped(), n))),
+        ("gc-protect", Box::new(|n| check(&GcProtectModel::shipped(), n))),
+        ("publish", Box::new(|n| check(&PublishModel::shipped(), n))),
+        ("intent", Box::new(|n| check(&IntentModel::shipped(), n))),
+        ("compact-gc", Box::new(|n| check(&CompactGcModel::shipped(), n))),
+    ];
+    if let Some(name) = only {
+        if !runners.iter().any(|(n, _)| *n == name) {
+            let known: Vec<&str> = runners.iter().map(|(n, _)| *n).collect();
+            eprintln!("mhd-lint: unknown model {name:?} (known: {})", known.join(", "));
+            return Err(ExitCode::from(2));
+        }
+    }
+    let selected: Vec<(&'static str, Runner)> =
+        runners.into_iter().filter(|(n, _)| only.is_none_or(|o| o == *n)).collect();
+    Ok(std::thread::scope(|s| {
+        let handles: Vec<_> = selected
+            .into_iter()
+            .map(|(name, run)| (name, s.spawn(move || run(max_states))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, h)| (name, h.join().expect("model thread does not panic")))
+            .collect()
+    }))
 }
 
 /// Runs a seeded-bug model and succeeds only when the checker catches it.
@@ -209,10 +294,13 @@ fn run_mutant(name: &str, max_states: usize) -> ExitCode {
         "ring-prune" => check(&RingModel::mutant_ring_prune(), max_states),
         "gc-protect" => check(&GcProtectModel::mutant_gc_protect(), max_states),
         "splice-order" => check(&GcProtectModel::mutant_splice_order(), max_states),
+        "publish-epoch" => check(&PublishModel::mutant_publish_epoch(), max_states),
+        "intent-retire" => check(&IntentModel::mutant_intent_retire(), max_states),
+        "compact-sweep" => check(&CompactGcModel::mutant_compact_sweep(), max_states),
         _ => {
             eprintln!(
                 "mhd-lint: unknown mutant {name:?} (flush-order, ring-prune, gc-protect, \
-                 splice-order)"
+                 splice-order, publish-epoch, intent-retire, compact-sweep)"
             );
             return ExitCode::from(2);
         }
@@ -258,6 +346,17 @@ fn report_json(new: &[Finding], baselined: &[Finding], mck: &[(&str, CheckResult
                 ("model".into(), Value::String(name.to_string())),
                 ("states".into(), Value::Number(Number::U64(r.states as u64))),
                 ("truncated".into(), Value::Bool(r.truncated)),
+                ("complete".into(), Value::Bool(r.complete())),
+                ("frontier".into(), Value::Number(Number::U64(r.frontier as u64))),
+                (
+                    "deepest_path".into(),
+                    Value::Array(
+                        r.deepest_path
+                            .iter()
+                            .map(|&t| Value::Number(Number::U64(t as u64)))
+                            .collect(),
+                    ),
+                ),
                 ("passed".into(), Value::Bool(r.passed())),
             ])
         })

@@ -68,6 +68,14 @@ pub struct CheckResult {
     /// True when the state budget stopped exploration early; treat as a
     /// failure in CI — an unexplored model proves nothing.
     pub truncated: bool,
+    /// States still awaiting expansion when exploration stopped: `0` on a
+    /// complete run, the abandoned-frontier size on a truncated one — a
+    /// measure of how much work the budget cut off.
+    pub frontier: usize,
+    /// The longest schedule explored, as thread ids from `init`. On a
+    /// truncated run this is the deepest path the search got to before
+    /// the budget hit; replaying it shows *where* the state space blew up.
+    pub deepest_path: Vec<usize>,
     /// First violation found, if any.
     pub violation: Option<Violation>,
 }
@@ -75,7 +83,14 @@ pub struct CheckResult {
 impl CheckResult {
     /// True when the model was fully explored and no violation was found.
     pub fn passed(&self) -> bool {
-        !self.truncated && self.violation.is_none()
+        self.complete() && self.violation.is_none()
+    }
+
+    /// True when the whole state space was explored (no truncation). A
+    /// model that is not `complete` proves nothing, violation or not —
+    /// CI must treat `complete == false` as a failure in its own right.
+    pub fn complete(&self) -> bool {
+        !self.truncated
     }
 }
 
@@ -83,16 +98,22 @@ impl CheckResult {
 pub fn check<M: Model>(model: &M, max_states: usize) -> CheckResult {
     let mut visited: BTreeSet<String> = BTreeSet::new();
     let mut stack: Vec<(M::State, Vec<usize>)> = Vec::new();
+    let mut deepest_path: Vec<usize> = Vec::new();
 
     let init = model.init();
     visited.insert(format!("{init:?}"));
     stack.push((init, Vec::new()));
 
     while let Some((state, schedule)) = stack.pop() {
+        if schedule.len() > deepest_path.len() {
+            deepest_path = schedule.clone();
+        }
         if let Err(message) = model.invariant(&state) {
             return CheckResult {
                 states: visited.len(),
                 truncated: false,
+                frontier: stack.len(),
+                deepest_path,
                 violation: Some(Violation { message, schedule, state: format!("{state:?}") }),
             };
         }
@@ -103,6 +124,8 @@ pub fn check<M: Model>(model: &M, max_states: usize) -> CheckResult {
                 return CheckResult {
                     states: visited.len(),
                     truncated: false,
+                    frontier: stack.len(),
+                    deepest_path,
                     violation: Some(Violation {
                         message: format!("at quiescence: {message}"),
                         schedule,
@@ -120,7 +143,15 @@ pub fn check<M: Model>(model: &M, max_states: usize) -> CheckResult {
                 continue;
             }
             if visited.len() >= max_states {
-                return CheckResult { states: visited.len(), truncated: true, violation: None };
+                return CheckResult {
+                    states: visited.len(),
+                    truncated: true,
+                    // +1: the state whose successors we were expanding is
+                    // itself unfinished work.
+                    frontier: stack.len() + 1,
+                    deepest_path,
+                    violation: None,
+                };
             }
             visited.insert(key);
             let mut sched = schedule.clone();
@@ -128,7 +159,13 @@ pub fn check<M: Model>(model: &M, max_states: usize) -> CheckResult {
             stack.push((next, sched));
         }
     }
-    CheckResult { states: visited.len(), truncated: false, violation: None }
+    CheckResult {
+        states: visited.len(),
+        truncated: false,
+        frontier: 0,
+        deepest_path,
+        violation: None,
+    }
 }
 
 #[cfg(test)]
@@ -207,5 +244,120 @@ mod tests {
         let result = check(&Counter { broken: false }, 3);
         assert!(result.truncated);
         assert!(!result.passed());
+    }
+
+    #[test]
+    fn truncation_reports_frontier_and_deepest_path_and_fails() {
+        // A truncated exploration must fail (`!passed`, `!complete`) even
+        // with no violation found — an unexplored model proves nothing —
+        // and must say how much work was abandoned: a nonzero frontier
+        // and a replayable deepest path.
+        let model = Counter { broken: false };
+        let result = check(&model, 3);
+        assert!(!result.complete());
+        assert!(!result.passed(), "truncated exploration must not pass CI");
+        assert!(result.violation.is_none(), "truncation is not a violation, it is worse");
+        assert!(result.frontier > 0, "truncated run must report pending frontier states");
+        assert!(!result.deepest_path.is_empty());
+        // The deepest path must replay from init without hitting a
+        // disabled step — it is a real prefix of the exploration.
+        let mut s = model.init();
+        for &tid in &result.deepest_path {
+            assert!(model.enabled(&s, tid), "deepest path took a disabled step");
+            model.step(&mut s, tid);
+        }
+        // A complete run reports an empty frontier.
+        let full = check(&model, 10_000);
+        assert!(full.complete() && full.passed());
+        assert_eq!(full.frontier, 0);
+    }
+
+    /// Regression guard for the dedup key: two *distinct* states whose
+    /// keys collide are merged, silently pruning exploration. The checker
+    /// keys on the full `Debug` rendering precisely so that collisions
+    /// can only come from a non-injective `Debug` impl — this test pins
+    /// that contract by showing what a lossy key does: with a `Debug`
+    /// that drops a field, the checker merges states differing only in
+    /// that field and *misses a violation* it provably catches when the
+    /// rendering is faithful. Anyone replacing the string key with a
+    /// lossy hash (or writing a partial `Debug` on a model state) turns
+    /// the checker into a rubber stamp; this test is the tripwire.
+    struct Collider {
+        faithful_debug: bool,
+    }
+
+    #[derive(Clone)]
+    struct ColliderState {
+        /// Two one-shot threads each set their flag.
+        flags: [bool; 2],
+        /// Set when thread 0 steps *before* thread 1 — an order-dependent
+        /// fact invisible in `flags` alone.
+        poison: bool,
+        /// Whether `Debug` renders `poison`; constant across a run.
+        faithful: bool,
+    }
+
+    impl Debug for ColliderState {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "flags={:?}", self.flags)?;
+            if self.faithful {
+                write!(f, " poison={:?}", self.poison)?;
+            }
+            Ok(())
+        }
+    }
+
+    impl Model for Collider {
+        type State = ColliderState;
+        fn init(&self) -> ColliderState {
+            ColliderState { flags: [false; 2], poison: false, faithful: self.faithful_debug }
+        }
+        fn threads(&self) -> usize {
+            2
+        }
+        fn enabled(&self, s: &ColliderState, tid: usize) -> bool {
+            !s.flags[tid]
+        }
+        fn step(&self, s: &mut ColliderState, tid: usize) {
+            if tid == 0 && !s.flags[1] {
+                s.poison = true;
+            }
+            s.flags[tid] = true;
+        }
+        fn invariant(&self, _s: &ColliderState) -> Result<(), String> {
+            Ok(())
+        }
+        fn quiescent(&self, s: &ColliderState) -> Result<(), String> {
+            if s.poison {
+                return Err("poisoned terminal state".into());
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn state_key_collisions_mask_violations() {
+        // Faithful Debug: the two terminal states (thread 0 first →
+        // poisoned; thread 1 first → clean) have distinct keys, both are
+        // explored, and the poisoned one is reported.
+        let caught = check(&Collider { faithful_debug: true }, 10_000);
+        assert!(
+            caught.violation.is_some(),
+            "injective state key must expose the poisoned interleaving"
+        );
+
+        // Lossy Debug: both terminal states render as `flags=[true,
+        // true]`. The clean interleaving is explored first (DFS pops the
+        // thread-1 branch first), claims the key, and the poisoned twin
+        // is silently deduped away — the checker reports a full, clean
+        // exploration that proved nothing about the 0-first schedule.
+        let masked = check(&Collider { faithful_debug: false }, 10_000);
+        assert!(masked.complete());
+        assert!(
+            masked.violation.is_none(),
+            "the lossy key should have masked the violation (if this fails, the \
+             dedup strategy changed — re-derive this regression test)"
+        );
+        assert!(masked.states < caught.states, "collision must merge distinct states");
     }
 }

@@ -14,6 +14,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::findings::Finding;
+use crate::idrange::pass_l8_id_range;
+use crate::locks::pass_l7_lock_order;
 use crate::source::{matching_close, SourceFile, ALLOW_NAMES};
 
 /// Fallback scope-label keys, kept in sync with
@@ -91,8 +93,27 @@ fn rel_of(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// Which allow-directive name suppresses findings of each pass. Passes
+/// absent here have no per-line escape hatch — the workspace-shape rules
+/// (L2b, L4–L6) are properties of registries and crate roots, not of an
+/// individual line a reviewer could sanction.
+const SUPPRESSIBLE: &[(&str, &str)] = &[
+    ("L1-no-panic", "unwrap"),
+    ("L2-commit-path", "raw-fs"),
+    ("L3-immutability", "immutability"),
+    ("L7-lock-order", "lock-order"),
+    ("L8-id-range", "id-range"),
+];
+
 /// Runs every pass over the workspace and returns findings in a stable
 /// order (pass, then file, then line).
+///
+/// Passes emit unconditionally; suppression happens *here*, centrally, so
+/// the linter knows which directives earned their keep. A well-formed
+/// directive that suppressed nothing is stale — the code it excused has
+/// moved or been fixed — and is itself reported (`stale-directive`):
+/// otherwise dead exemptions accumulate and silently blanket future
+/// regressions on those lines.
 pub fn run_passes(ws: &Workspace) -> Vec<Finding> {
     let mut findings = Vec::new();
     pass_allow_directives(ws, &mut findings);
@@ -104,8 +125,54 @@ pub fn run_passes(ws: &Workspace) -> Vec<Finding> {
     pass_l5_missing_docs(ws, &mut findings);
     pass_l5_obs_gating(ws, &mut findings);
     pass_l6_forbid_unsafe(ws, &mut findings);
+    pass_l7_lock_order(ws, &mut findings);
+    pass_l8_id_range(ws, &mut findings);
+    let mut findings = apply_suppressions(ws, findings);
     findings.sort_by(|a, b| (a.pass, &a.file, a.line).cmp(&(b.pass, &b.file, b.line)));
     findings
+}
+
+/// Drops findings covered by a matching allow directive (the directive's
+/// own line or the line below it, same reach as
+/// [`SourceFile::is_allowed`]), then reports every well-formed directive
+/// that covered nothing as stale.
+fn apply_suppressions(ws: &Workspace, findings: Vec<Finding>) -> Vec<Finding> {
+    let mut used: BTreeSet<(String, u32)> = BTreeSet::new();
+    let mut kept = Vec::new();
+    for f in findings {
+        let Some((_, name)) = SUPPRESSIBLE.iter().find(|(pass, _)| *pass == f.pass) else {
+            kept.push(f);
+            continue;
+        };
+        let directive = ws.file(&f.file).and_then(|sf| {
+            sf.allows.iter().find(|a| a.name == *name && (a.line == f.line || a.line + 1 == f.line))
+        });
+        match directive {
+            Some(d) => {
+                used.insert((f.file.clone(), d.line));
+            }
+            None => kept.push(f),
+        }
+    }
+    for sf in &ws.files {
+        for a in &sf.allows {
+            let well_formed = ALLOW_NAMES.contains(&a.name.as_str()) && a.has_reason;
+            if well_formed && !used.contains(&(sf.rel.clone(), a.line)) {
+                kept.push(Finding {
+                    pass: "stale-directive",
+                    file: sf.rel.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) suppresses no finding — the code it excused has moved \
+                         or been fixed; delete the directive before it blankets a future \
+                         regression",
+                        a.name
+                    ),
+                });
+            }
+        }
+    }
+    kept
 }
 
 // ---------------------------------------------------------------------
@@ -189,16 +256,14 @@ fn pass_l1_no_panic(ws: &Workspace, out: &mut Vec<Finding>) {
                 None
             };
             if let Some(what) = offense {
-                if !file.is_allowed(tok.line, "unwrap") {
-                    out.push(Finding {
-                        pass: "L1-no-panic",
-                        file: file.rel.clone(),
-                        line: tok.line,
-                        message: format!(
-                            "{what}; return StoreError (or `// lint: allow(unwrap): reason`)"
-                        ),
-                    });
-                }
+                out.push(Finding {
+                    pass: "L1-no-panic",
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "{what}; return StoreError (or `// lint: allow(unwrap): reason`)"
+                    ),
+                });
             }
         }
     }
@@ -230,7 +295,6 @@ fn pass_l2_commit_path(ws: &Workspace, out: &mut Vec<Finding>) {
             if tok.kind == crate::lexer::TokKind::Ident
                 && RAW_FS_OPS.contains(&tok.text.as_str())
                 && (qualified_by("fs") || qualified_by("File"))
-                && !file.is_allowed(tok.line, "raw-fs")
             {
                 out.push(Finding {
                     pass: "L2-commit-path",
@@ -413,7 +477,6 @@ fn pass_l3_immutability(ws: &Workspace, out: &mut Vec<Finding>) {
                 && toks[i + 3].is_punct(':')
                 && toks[i + 4].is_punct(':')
                 && (toks[i + 5].is_ident("DiskChunk") || toks[i + 5].is_ident("Hook"))
-                && !file.is_allowed(toks[i].line, "immutability")
             {
                 out.push(Finding {
                     pass: "L3-immutability",

@@ -1,0 +1,129 @@
+//! SARIF 2.1.0 export of lint findings.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the lingua
+//! franca code-scanning UIs ingest — emitting it lets `mhd-lint` findings
+//! annotate pull requests without any bespoke glue. The subset produced
+//! here is deliberately small: one `run`, one `rule` per pass, one
+//! `result` per finding with a physical location. Validated shape-wise by
+//! the round-trip test below against our own JSON parser.
+
+use std::collections::BTreeSet;
+
+use serde_json::{Number, Value};
+
+use crate::findings::Finding;
+
+fn obj(fields: Vec<(String, Value)>) -> Value {
+    Value::Object(fields)
+}
+
+fn s(text: &str) -> Value {
+    Value::String(text.to_string())
+}
+
+/// Renders `findings` as a SARIF 2.1.0 document. `new` findings get
+/// `error` level; `baselined` ones are included at `note` level so the
+/// debt stays visible in scanning UIs without failing the check.
+pub fn to_sarif(new: &[Finding], baselined: &[Finding]) -> String {
+    let passes: BTreeSet<&'static str> = new.iter().chain(baselined).map(|f| f.pass).collect();
+    let rules: Vec<Value> = passes
+        .iter()
+        .map(|p| obj(vec![("id".into(), s(p)), ("name".into(), s(&p.replace('-', " ")))]))
+        .collect();
+    let rule_index = |pass: &str| passes.iter().position(|p| *p == pass).unwrap_or(0) as u64;
+
+    let result_of = |f: &Finding, level: &str| {
+        let mut location = vec![(
+            "artifactLocation".into(),
+            obj(vec![("uri".into(), s(&f.file)), ("uriBaseId".into(), s("SRCROOT"))]),
+        )];
+        if f.line > 0 {
+            location.push((
+                "region".into(),
+                obj(vec![("startLine".into(), Value::Number(Number::U64(f.line as u64)))]),
+            ));
+        }
+        obj(vec![
+            ("ruleId".into(), s(f.pass)),
+            ("ruleIndex".into(), Value::Number(Number::U64(rule_index(f.pass)))),
+            ("level".into(), s(level)),
+            ("message".into(), obj(vec![("text".into(), s(&f.message))])),
+            (
+                "locations".into(),
+                Value::Array(vec![obj(vec![("physicalLocation".into(), obj(location))])]),
+            ),
+        ])
+    };
+
+    let mut results: Vec<Value> = Vec::new();
+    for f in new {
+        results.push(result_of(f, "error"));
+    }
+    for f in baselined {
+        results.push(result_of(f, "note"));
+    }
+
+    let run = obj(vec![
+        (
+            "tool".into(),
+            obj(vec![(
+                "driver".into(),
+                obj(vec![
+                    ("name".into(), s("mhd-lint")),
+                    ("informationUri".into(), s("https://example.invalid/mhd-lint")),
+                    ("rules".into(), Value::Array(rules)),
+                ]),
+            )]),
+        ),
+        ("columnKind".into(), s("utf16CodeUnits")),
+        ("results".into(), Value::Array(results)),
+    ]);
+    let top = obj(vec![
+        ("$schema".into(), s("https://json.schemastore.org/sarif-2.1.0.json")),
+        ("version".into(), s("2.1.0")),
+        ("runs".into(), Value::Array(vec![run])),
+    ]);
+    let mut text = serde_json::to_string_pretty(&top).expect("sarif Value serializes");
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: &'static str, file: &str, line: u32, msg: &str) -> Finding {
+        Finding { pass, file: file.into(), line, message: msg.into() }
+    }
+
+    fn lookup<'a>(v: &'a Value, key: &str) -> &'a Value {
+        let Value::Object(fields) = v else { panic!("not an object: {v:?}") };
+        &fields.iter().find(|(k, _)| k == key).unwrap_or_else(|| panic!("no {key}")).1
+    }
+
+    #[test]
+    fn emits_a_valid_shaped_sarif_log() {
+        let new = [finding("L7-lock-order", "crates/daemon/src/shared.rs", 42, "cycle")];
+        let old = [finding("L1-no-panic", "crates/core/src/mhd.rs", 7, "unwrap")];
+        let text = to_sarif(&new, &old);
+        let doc: Value = serde_json::from_str(&text).expect("self-parses");
+        assert_eq!(lookup(&doc, "version"), &Value::String("2.1.0".into()));
+        let Value::Array(runs) = lookup(&doc, "runs") else { panic!() };
+        let Value::Array(results) = lookup(&runs[0], "results") else { panic!() };
+        assert_eq!(results.len(), 2);
+        assert_eq!(lookup(&results[0], "level"), &Value::String("error".into()));
+        assert_eq!(lookup(&results[1], "level"), &Value::String("note".into()));
+        assert_eq!(lookup(&results[0], "ruleId"), &Value::String("L7-lock-order".into()));
+        let rules = lookup(lookup(lookup(&runs[0], "tool"), "driver"), "rules");
+        let Value::Array(rules) = rules else { panic!() };
+        assert_eq!(rules.len(), 2, "one rule per distinct pass");
+    }
+
+    #[test]
+    fn zero_line_findings_omit_the_region() {
+        let new = [finding("L8-id-range", "crates/daemon/src", 0, "no floor")];
+        let text = to_sarif(&new, &[]);
+        assert!(!text.contains("startLine"), "{text}");
+        assert!(text.contains("\"uri\""), "{text}");
+    }
+}

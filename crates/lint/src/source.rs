@@ -12,7 +12,7 @@ use crate::lexer::{lex, Token};
 
 /// Allow-directive names the linter recognizes; anything else is reported
 /// as an unknown directive (usually a typo that silently exempts nothing).
-pub const ALLOW_NAMES: &[&str] = &["unwrap", "raw-fs", "immutability"];
+pub const ALLOW_NAMES: &[&str] = &["unwrap", "raw-fs", "immutability", "lock-order", "id-range"];
 
 /// One `// lint: allow(NAME): reason` comment.
 #[derive(Debug, Clone)]

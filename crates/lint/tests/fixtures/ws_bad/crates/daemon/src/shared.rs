@@ -1,0 +1,60 @@
+// Fixture: a daemon violating L7 (the engine lock acquired while the
+// registry lock is held; a self-deadlocking re-acquisition), L8 (a
+// splice loop that never remaps staged ids), and directive hygiene (a
+// stale lock-order exemption that suppresses nothing).
+
+pub struct SessionRegistry {
+    inner: Mutex<u64>,
+}
+
+impl SessionRegistry {
+    pub fn watermark(&self) -> u64 {
+        *self.inner.lock()
+    }
+}
+
+pub struct SharedStore {
+    inner: Mutex<u64>,
+    registry: SessionRegistry,
+}
+
+pub const LOCAL_ID_BASE: u64 = 1 << 48;
+
+impl SharedStore {
+    pub fn open(&self) {
+        self.ensure_id_floor(LOCAL_ID_BASE, LOCAL_ID_BASE);
+    }
+
+    // L7: the engine lock is the hierarchy root, yet it is acquired
+    // here while the registry lock is already held.
+    pub fn inverted(&self) -> u64 {
+        let reg = self.registry.inner.lock();
+        let eng = self.inner.lock();
+        *reg + *eng
+    }
+
+    // L7: re-acquired without dropping the first guard.
+    pub fn stuck(&self) -> u64 {
+        let a = self.inner.lock();
+        let b = self.inner.lock();
+        *a + *b
+    }
+
+    // lint: allow(lock-order): carried over from the old nesting
+    pub fn quiet(&self) -> u64 {
+        self.registry.watermark()
+    }
+
+    // L8: the Hook loop below never routes through map_chunk.
+    pub fn splice(&self, overlay: Overlay, base: u64) {
+        let staged = overlay.take_staged();
+        let map_chunk =
+            move |id: u64| if id >= LOCAL_ID_BASE { id - LOCAL_ID_BASE + base } else { id };
+        for (name, data) in staged.fresh_of(FileKind::DiskChunk) {
+            self.store_chunk(map_chunk(parse(name)), data);
+        }
+        for (name, target) in staged.fresh_of(FileKind::Hook) {
+            self.store_hook(name, parse(target));
+        }
+    }
+}

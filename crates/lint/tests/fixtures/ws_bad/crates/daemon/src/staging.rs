@@ -1,0 +1,6 @@
+// Fixture: L8 — re-derives the staging id floor as a raw literal
+// instead of using the canonical LOCAL_ID_BASE const.
+
+pub fn local_floor() -> u64 {
+    1 << 48
+}

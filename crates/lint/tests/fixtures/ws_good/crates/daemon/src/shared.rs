@@ -1,0 +1,53 @@
+// Fixture: a daemon obeying L7 (the engine lock strictly first, guards
+// dropped before re-acquisition) and L8 (one canonical floor, armed at
+// open, every splice loop routed through a remap helper).
+
+pub struct SessionRegistry {
+    inner: Mutex<u64>,
+}
+
+impl SessionRegistry {
+    pub fn watermark(&self) -> u64 {
+        *self.inner.lock()
+    }
+}
+
+pub struct SharedStore {
+    inner: Mutex<u64>,
+    registry: SessionRegistry,
+}
+
+pub const LOCAL_ID_BASE: u64 = 1 << 48;
+
+impl SharedStore {
+    pub fn open(&self) {
+        self.ensure_id_floor(LOCAL_ID_BASE, LOCAL_ID_BASE);
+    }
+
+    // Engine first, registry second — the sanctioned nesting.
+    pub fn ordered(&self) -> u64 {
+        let eng = self.inner.lock();
+        let wm = self.registry.watermark();
+        *eng + wm
+    }
+
+    // Re-acquisition is fine once the first guard is dropped.
+    pub fn retry(&self) -> u64 {
+        let a = self.inner.lock();
+        drop(a);
+        let b = self.inner.lock();
+        *b
+    }
+
+    pub fn splice(&self, overlay: Overlay, base: u64) {
+        let staged = overlay.take_staged();
+        let map_chunk =
+            move |id: u64| if id >= LOCAL_ID_BASE { id - LOCAL_ID_BASE + base } else { id };
+        for (name, data) in staged.fresh_of(FileKind::DiskChunk) {
+            self.store_chunk(map_chunk(parse(name)), data);
+        }
+        for (name, target) in staged.fresh_of(FileKind::Hook) {
+            self.store_hook(name, map_chunk(parse(target)));
+        }
+    }
+}

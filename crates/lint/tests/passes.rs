@@ -6,7 +6,7 @@ use std::path::PathBuf;
 
 use mhd_lint::mck::check;
 use mhd_lint::models::{FlushModel, RingModel};
-use mhd_lint::{run_passes, Baseline, Finding, Workspace};
+use mhd_lint::{lock_graph, run_passes, Baseline, Finding, Workspace};
 
 fn fixture(name: &str) -> Vec<Finding> {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
@@ -69,7 +69,27 @@ fn ws_bad_produces_every_expected_finding() {
     assert_eq!(count(&findings, "L5-obs-gating"), 1);
     assert!(has(&findings, "L5-obs-gating", "crates/app/Cargo.toml", 7));
 
-    // Directive hygiene: one reasonless, one typoed name.
+    // L7: the engine lock taken under the registry lock, plus a
+    // self-deadlocking re-acquisition.
+    assert_eq!(count(&findings, "L7-lock-order"), 2, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.pass == "L7-lock-order" && f.message.contains("engine lock")));
+    assert!(findings
+        .iter()
+        .any(|f| f.pass == "L7-lock-order" && f.message.contains("self-deadlock")));
+
+    // L8: one splice loop that skips the remap helper, one raw `1 << 48`.
+    assert_eq!(count(&findings, "L8-id-range"), 2, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.pass == "L8-id-range" && f.message.contains("FileKind::Hook")));
+    assert!(findings.iter().any(|f| f.pass == "L8-id-range"
+        && f.file == "crates/daemon/src/staging.rs"
+        && f.message.contains("re-derives")));
+
+    // Directive hygiene: one reasonless, one typoed name, and one
+    // well-formed lock-order exemption that suppresses nothing.
     assert_eq!(count(&findings, "allow-directive"), 2);
     assert!(findings
         .iter()
@@ -77,6 +97,8 @@ fn ws_bad_produces_every_expected_finding() {
     assert!(findings
         .iter()
         .any(|f| f.pass == "allow-directive" && f.message.contains("unknown allow name")));
+    assert_eq!(count(&findings, "stale-directive"), 1, "{findings:#?}");
+    assert!(has(&findings, "stale-directive", "crates/daemon/src/shared.rs", 43));
 }
 
 #[test]
@@ -119,6 +141,35 @@ fn one_new_finding_escapes_the_baseline() {
     let ratchet = baseline.ratchet(findings);
     assert_eq!(ratchet.new.len(), 1);
     assert_eq!(ratchet.new[0].line, 99);
+}
+
+#[test]
+fn real_workspace_is_clean_and_l7_actually_sees_the_daemon() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    let findings = run_passes(&ws);
+    assert!(findings.is_empty(), "workspace regressed: {findings:#?}");
+
+    // Guard the guard: a clean L7 run proves nothing if the extractor went
+    // blind. The daemon's real nesting — stats/begin_session take registry
+    // and shard locks inside the engine lock, in that order everywhere —
+    // must show up as edges, and the engine lock must never be the target.
+    let graph = lock_graph(&ws);
+    assert!(
+        graph.has_edge("SharedStore.inner", "SessionRegistry.inner"),
+        "engine→registry nesting not extracted: {:?}",
+        graph.edges
+    );
+    assert!(
+        graph.has_edge("SharedStore.inner", "SharedHookIndex.shards"),
+        "engine→shard nesting not extracted: {:?}",
+        graph.edges
+    );
+    assert!(
+        !graph.edges.iter().any(|e| e.to == "SharedStore.inner"),
+        "an edge into the engine lock should have been a finding: {:?}",
+        graph.edges
+    );
 }
 
 #[test]
